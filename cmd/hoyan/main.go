@@ -1,0 +1,314 @@
+// Command hoyan is the CLI front end of the verifier: it loads a network
+// directory (topology.txt + per-router .cfg files, as written by
+// hoyangen) and answers the verification questions of §5 — route and
+// packet reachability under failures, role equivalence, racing — plus the
+// full daily audit of Figure 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hoyan"
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/dataplane"
+	"hoyan/internal/dist"
+	"hoyan/internal/gen"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/racing"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: hoyan <command> [flags]
+
+commands:
+  route   -dir DIR -prefix P -router R [-k N]   route reachability under failures
+  packet  -dir DIR -prefix P -src R [-k N]      packet reachability to the gateway
+  equiv   -dir DIR -a R1 -b R2                  role equivalence of two routers
+  racing  -dir DIR -prefix P                    update-racing ambiguity
+  audit   -dir DIR [-k N]                       full audit (conflicts, groups, racing)
+  update  -dir DIR -device R -lines "l1;l2"     what-if check of an incremental update
+  check   -dir DIR -intents FILE [-k N]         verify an operator intent file
+  sweep   -dir DIR -workers a:p,b:p [-k N]      distributed whole-network sweep
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "network directory (topology.txt + *.cfg)")
+	prefix := fs.String("prefix", "", "prefix in CIDR form")
+	router := fs.String("router", "", "target router")
+	src := fs.String("src", "", "source router")
+	a := fs.String("a", "", "first router")
+	b := fs.String("b", "", "second router")
+	k := fs.Int("k", 3, "failure budget")
+	device := fs.String("device", "", "device to update")
+	lines := fs.String("lines", "", "update command lines, ';'-separated")
+	workers := fs.String("workers", "", "comma-separated worker addresses")
+	intents := fs.String("intents", "", "intent file path")
+	fs.Parse(os.Args[2:])
+
+	if *dir == "" {
+		fail("missing -dir")
+	}
+	net, snap, err := gen.LoadDir(*dir)
+	if err != nil {
+		fail(err.Error())
+	}
+	build := func(snap config.Snapshot) (*core.Model, *core.Simulator) {
+		m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+		if err != nil {
+			fail(err.Error())
+		}
+		opts := core.DefaultOptions()
+		opts.K = *k
+		return m, core.NewSimulator(m, opts)
+	}
+
+	switch cmd {
+	case "route":
+		need(*prefix, "-prefix")
+		need(*router, "-router")
+		m, sim := build(snap)
+		p := mustPrefix(*prefix)
+		res, err := sim.Run(p)
+		if err != nil {
+			fail(err.Error())
+		}
+		id, ok := m.Resolve(*router)
+		if !ok {
+			fail("unknown router " + *router)
+		}
+		min, flen := res.MinFailuresToLose(id, core.AnyRouteTo(p))
+		fmt.Printf("route %s @ %s: reachable=%v\n", p, *router, res.Reachable(id, core.AnyRouteTo(p)))
+		if min > *k {
+			fmt.Printf("  survives any %d link failures (formula len %d)\n", *k, flen)
+		} else {
+			fs, _ := res.WitnessFailure(id, core.AnyRouteTo(p))
+			var names []string
+			for _, l := range fs {
+				names = append(names, m.Net.Link(l).Name)
+			}
+			fmt.Printf("  breaks with %d failures: %v\n", min, names)
+		}
+	case "packet":
+		need(*prefix, "-prefix")
+		need(*src, "-src")
+		m, sim := build(snap)
+		p := mustPrefix(*prefix)
+		res, err := sim.Run(p)
+		if err != nil {
+			fail(err.Error())
+		}
+		id, ok := m.Resolve(*src)
+		if !ok {
+			fail("unknown router " + *src)
+		}
+		anns := m.AnnouncersOf(p)
+		if len(anns) == 0 {
+			fail("nobody announces " + p.String())
+		}
+		fib := dataplane.Build(res)
+		pr := fib.PacketReach(id, 0, p.Addr+1, anns[0])
+		min := sim.F.MinFailuresToViolate(pr.Cond)
+		fmt.Printf("packet %s -> %s (gw %s): reachable=%v min-failures=%s\n",
+			*src, p, m.Net.Node(anns[0]).Name, sim.F.Eval(pr.Cond, nil), minStr(min, *k))
+	case "equiv":
+		need(*a, "-a")
+		need(*b, "-b")
+		m, sim := build(snap)
+		na, ok1 := m.Resolve(*a)
+		nb, ok2 := m.Resolve(*b)
+		if !ok1 || !ok2 {
+			fail("unknown router")
+		}
+		diffs := 0
+		for _, p := range m.AnnouncedPrefixes() {
+			res, err := sim.Run(p)
+			if err != nil {
+				fail(err.Error())
+			}
+			for _, d := range res.EquivalentRoles(na, nb) {
+				diffs++
+				fmt.Printf("  %s: %s (%s=%s, %s=%s)\n", d.Prefix, d.Field, *a, d.A, *b, d.B)
+			}
+		}
+		if diffs == 0 {
+			fmt.Printf("%s and %s are equivalent roles\n", *a, *b)
+		} else {
+			fmt.Printf("%d divergences\n", diffs)
+			os.Exit(1)
+		}
+	case "racing":
+		need(*prefix, "-prefix")
+		_, sim := build(snap)
+		rep, err := racing.Detect(sim, mustPrefix(*prefix), racing.DefaultOptions())
+		if err != nil {
+			fail(err.Error())
+		}
+		if rep.Ambiguous {
+			fmt.Printf("AMBIGUOUS: %d convergences; order-dependent at %d routers\n",
+				len(rep.Solutions), len(rep.AmbiguousNodes))
+			os.Exit(1)
+		}
+		fmt.Println("convergence is deterministic")
+	case "audit":
+		m, sim := build(snap)
+		violations := 0
+		for _, p := range m.AnnouncedPrefixes() {
+			if anns := m.AnnouncersOf(p); len(anns) > 1 {
+				var names []string
+				for _, x := range anns {
+					names = append(names, m.Net.Node(x).Name)
+				}
+				fmt.Printf("[conflict] %s announced by %v\n", p, names)
+				violations++
+			}
+		}
+		groups := m.Net.NodeGroups()
+		for g, members := range groups {
+			for _, p := range m.AnnouncedPrefixes() {
+				res, err := sim.Run(p)
+				if err != nil {
+					fail(err.Error())
+				}
+				for i := 1; i < len(members); i++ {
+					for _, d := range res.EquivalentRoles(members[0], members[i]) {
+						fmt.Printf("[equivalence] group %s prefix %s: %s\n", g, d.Prefix, d.Field)
+						violations++
+					}
+				}
+			}
+		}
+		fmt.Printf("audit complete: %d violations\n", violations)
+		if violations > 0 {
+			os.Exit(1)
+		}
+	case "update":
+		need(*device, "-device")
+		need(*lines, "-lines")
+		up := config.Update{Device: *device, Lines: strings.Split(*lines, ";")}
+		target, err := snap.Apply([]config.Update{up})
+		if err != nil {
+			fail(err.Error())
+		}
+		mBefore, simBefore := build(snap)
+		_, simAfter := build(target)
+		changed := 0
+		for _, p := range mBefore.AnnouncedPrefixes() {
+			resB, err := simBefore.Run(p)
+			if err != nil {
+				fail(err.Error())
+			}
+			resA, err := simAfter.Run(p)
+			if err != nil {
+				fail(err.Error())
+			}
+			for _, node := range mBefore.Net.Nodes() {
+				b, okB := resB.BestUnder(node.ID, p, nil)
+				a2, okA := resA.BestUnder(node.ID, p, nil)
+				switch {
+				case okB != okA:
+					fmt.Printf("[change] %s @ %s: present %v -> %v\n", p, node.Name, okB, okA)
+					changed++
+				case okB && (b.Protocol != a2.Protocol || b.NextHop != a2.NextHop):
+					fmt.Printf("[change] %s @ %s: %v -> %v\n", p, node.Name, b, a2)
+					changed++
+				}
+			}
+		}
+		fmt.Printf("update would change %d (prefix, router) selections\n", changed)
+	case "check":
+		need(*intents, "-intents")
+		raw, err := os.ReadFile(*intents)
+		if err != nil {
+			fail(err.Error())
+		}
+		set, err := hoyan.ParseIntents(string(raw))
+		if err != nil {
+			fail(err.Error())
+		}
+		hn, err := hoyan.LoadDirectory(*dir)
+		if err != nil {
+			fail(err.Error())
+		}
+		v, err := hn.Verifier(hoyan.Options{K: *k})
+		if err != nil {
+			fail(err.Error())
+		}
+		viols, err := v.CheckIntentSet(set)
+		if err != nil {
+			fail(err.Error())
+		}
+		for _, vi := range viols {
+			fmt.Println(vi)
+		}
+		fmt.Printf("%d intent violations\n", len(viols))
+		if len(viols) > 0 {
+			os.Exit(1)
+		}
+	case "sweep":
+		need(*workers, "-workers")
+		m, _ := build(snap)
+		var prefixes []string
+		for _, p := range m.AnnouncedPrefixes() {
+			prefixes = append(prefixes, p.String())
+		}
+		coord := &dist.Coordinator{Addrs: strings.Split(*workers, ",")}
+		res, err := coord.Run(prefixes, *k)
+		if err != nil {
+			fail(err.Error())
+		}
+		bad := 0
+		for p, sums := range res.ByPrefix {
+			for _, s := range sums {
+				if !s.Reachable {
+					fmt.Printf("[violation] %s unreachable at %s\n", p, s.Router)
+					bad++
+				}
+			}
+		}
+		fmt.Printf("distributed sweep: %d prefixes over %d workers, %d violations\n",
+			len(res.ByPrefix), len(res.Assigned), bad)
+		if bad > 0 {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func need(v, name string) {
+	if v == "" {
+		fail("missing " + name)
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "hoyan:", msg)
+	os.Exit(1)
+}
+
+func mustPrefix(s string) netaddr.Prefix {
+	p, err := netaddr.Parse(s)
+	if err != nil {
+		fail(err.Error())
+	}
+	return p
+}
+
+func minStr(min, k int) string {
+	if min > k {
+		return fmt.Sprintf(">%d", k)
+	}
+	return fmt.Sprint(min)
+}

@@ -1,0 +1,74 @@
+// Command hoyand serves the verifier as an HTTP/JSON API (the Figure 2
+// frontend operators query) and, optionally, the emulated production
+// network's collection plane (ext-RIB pulls and BMP-style update logs)
+// over a TCP line protocol.
+//
+//	hoyand -dir /path/to/wan -http :8080 [-collector :8081] [-k 3]
+//
+// Endpoints: GET /v1/routers /v1/prefixes /v1/route /v1/packet
+// /v1/equivalence /v1/racing — see internal/httpapi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"hoyan/internal/collector"
+	"hoyan/internal/core"
+	"hoyan/internal/device"
+	"hoyan/internal/gen"
+	"hoyan/internal/httpapi"
+)
+
+func main() {
+	dir := flag.String("dir", "", "network directory (topology.txt + *.cfg)")
+	httpAddr := flag.String("http", ":8080", "HTTP API listen address")
+	collAddr := flag.String("collector", "", "optional collector (ext-RIB/BMP) listen address")
+	k := flag.Int("k", 3, "failure budget")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "hoyand: missing -dir")
+		os.Exit(2)
+	}
+	topoNet, snap, err := gen.LoadDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hoyand:", err)
+		os.Exit(1)
+	}
+
+	if *collAddr != "" {
+		oracle, err := device.NewOracle(topoNet, snap, core.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hoyand:", err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", *collAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hoyand:", err)
+			os.Exit(1)
+		}
+		srv := collector.NewServer(oracle)
+		go func() {
+			if err := srv.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "hoyand: collector:", err)
+			}
+		}()
+		fmt.Printf("collector listening on %s\n", ln.Addr())
+	}
+
+	svc, err := httpapi.New(topoNet, snap, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hoyand:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("verifier API listening on %s (%d routers, %d links, k=%d)\n",
+		*httpAddr, topoNet.NumNodes(), topoNet.NumLinks(), *k)
+	if err := http.ListenAndServe(*httpAddr, svc.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "hoyand:", err)
+		os.Exit(1)
+	}
+}

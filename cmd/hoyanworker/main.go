@@ -1,0 +1,41 @@
+// Command hoyanworker serves distributed verification requests for one
+// network directory — the worker side of §8's "Hoyan could be run in a
+// distributed way". Point any number of these at the same network
+// directory and give their addresses to `hoyan sweep -workers`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"hoyan/internal/dist"
+	"hoyan/internal/gen"
+)
+
+func main() {
+	dir := flag.String("dir", "", "network directory (topology.txt + *.cfg)")
+	listen := flag.String("listen", ":8090", "listen address")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "hoyanworker: missing -dir")
+		os.Exit(2)
+	}
+	topoNet, snap, err := gen.LoadDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hoyanworker:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hoyanworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("worker on %s (%d routers, %d links)\n", ln.Addr(), topoNet.NumNodes(), topoNet.NumLinks())
+	w := dist.NewWorker(topoNet, snap)
+	if err := w.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "hoyanworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Failure-tolerance audit: reproduce the §7.1 static-preference incident.
+// A provider edge holds a static route (preference 1) for a service prefix
+// while an old eBGP session is configured at preference 30. The "harmless"
+// fleet-wide update that moves static preferences to 150 silently hands
+// the prefix to eBGP — exactly the violation Hoyan caught before rollout.
+//
+// The example runs the update-checking workflow of Figure 2: clone the
+// online snapshot, apply the proposed update, verify both, and diff the
+// intent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoyan"
+)
+
+func build() *hoyan.Network {
+	net := hoyan.NewNetwork()
+	net.AddRouter(hoyan.Router{Name: "pe", AS: 64500, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "legacy-gw", AS: 65001, Vendor: "beta"})
+	net.AddRouter(hoyan.Router{Name: "core", AS: 64500, Vendor: "alpha"})
+	net.AddLink("pe", "legacy-gw", 10)
+	net.AddLink("pe", "core", 10)
+
+	// The PE prefers its static toward the core (preference 1) over the
+	// legacy gateway's eBGP announcement (preference 30) — the intended
+	// state that has "worked smoothly for years".
+	net.SetConfig("pe", `hostname pe
+router bgp 64500
+ neighbor legacy-gw remote-as 65001
+ neighbor legacy-gw preference 30
+ neighbor core remote-as 64500
+router isis
+ level 2
+ip route 10.9.0.0/16 core preference 1`)
+	net.SetConfig("legacy-gw", `hostname legacy-gw
+vendor beta
+router bgp 65001
+ network 10.9.0.0/16
+ neighbor pe remote-as 64500`)
+	net.SetConfig("core", `hostname core
+router bgp 64500
+ neighbor pe remote-as 64500
+router isis
+ level 2`)
+	return net
+}
+
+func bestAt(v *hoyan.Verifier) hoyan.RouteInfo {
+	ri, err := v.BestRoute("10.9.0.0/16", "pe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ri
+}
+
+func main() {
+	online := build()
+
+	v0, err := online.Verifier(hoyan.Options{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := bestAt(v0)
+	fmt.Printf("online state: pe forwards 10.9.0.0/16 via %s (%s, preference %d)\n",
+		before.NextHop, before.Protocol, before.Pref)
+
+	// Proposed fleet-wide update: static preference 1 -> 150.
+	target := online.Clone()
+	if err := target.ApplyUpdate("pe",
+		"no ip route 10.9.0.0/16 core",
+		"ip route 10.9.0.0/16 core preference 150",
+	); err != nil {
+		log.Fatal(err)
+	}
+	v1, err := target.Verifier(hoyan.Options{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := bestAt(v1)
+	fmt.Printf("target state: pe forwards 10.9.0.0/16 via %s (%s, preference %d)\n",
+		after.NextHop, after.Protocol, after.Pref)
+
+	// Update checking (Figure 2): the operator's intent was to renumber
+	// preferences, NOT to move traffic. A selection change is the
+	// violation signal — the static is "blocked from being activated".
+	if before.Protocol != after.Protocol || before.NextHop != after.NextHop {
+		fmt.Printf("VIOLATION: the update silently moves traffic from %s/%s to %s/%s\n",
+			before.NextHop, before.Protocol, after.NextHop, after.Protocol)
+		fmt.Println("=> the update must not be committed as-is (the §7.1 save)")
+	} else {
+		fmt.Println("update preserves selection — safe to commit")
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: build the paper's Figure 4 network through the public API
+// and ask the headline question — which single link failure would cut
+// router D off from subnet N?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoyan"
+)
+
+func main() {
+	net := hoyan.NewNetwork()
+	net.AddRouter(hoyan.Router{Name: "A", AS: 100, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "B", AS: 200, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "C", AS: 300, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "D", AS: 400, Vendor: "alpha"})
+	net.AddLink("A", "C", 10) // Link 1
+	net.AddLink("A", "B", 10) // Link 2
+	net.AddLink("B", "C", 10) // Link 3
+	net.AddLink("C", "D", 10) // Link 4
+
+	net.SetConfig("A", `hostname A
+router bgp 100
+ network 10.0.0.0/8
+ neighbor B remote-as 200
+ neighbor C remote-as 300`)
+	net.SetConfig("B", `hostname B
+router bgp 200
+ neighbor A remote-as 100
+ neighbor C remote-as 300`)
+	net.SetConfig("C", `hostname C
+router bgp 300
+ neighbor A remote-as 100
+ neighbor B remote-as 200
+ neighbor D remote-as 400`)
+	net.SetConfig("D", `hostname D
+router bgp 400
+ neighbor C remote-as 300`)
+
+	v, err := net.Verifier(hoyan.Options{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, router := range []string{"B", "C", "D"} {
+		rep, err := v.RouteReach("10.0.0.0/8", router)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("route to 10.0.0.0/8 at %s: reachable=%v", router, rep.Reachable)
+		if rep.MinFailures > 0 {
+			fmt.Printf(", breaks with %d failure(s) %v", rep.MinFailures, rep.Witness)
+		}
+		fmt.Println()
+	}
+
+	pkt, err := v.PacketReach("10.0.0.0/8", "D")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packets D -> 10.0.0.0/8 gateway: reachable=%v, min failures to break=%d\n",
+		pkt.Reachable, pkt.MinFailures)
+
+	st, _ := v.Stats("10.0.0.0/8")
+	fmt.Printf("simulation explored %d branches (%d pruned as impossible, %d beyond k)\n",
+		st.Branches, st.DroppedImpossible, st.DroppedOverK)
+}

@@ -1,0 +1,83 @@
+// Update racing: reproduce the Figure 1 incident. Two gateways in AS 200
+// announce the same prefix; A prefers C's route via local-preference 300,
+// B raises D's to 500, and a weight rule makes B prefer whatever A sends.
+// The converged state then depends on which update arrives first — the
+// class of bug no snapshot simulation can see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoyan"
+)
+
+func build(withWeightRule bool) *hoyan.Network {
+	net := hoyan.NewNetwork()
+	net.AddRouter(hoyan.Router{Name: "A", AS: 100, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "B", AS: 100, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "C", AS: 200, Vendor: "alpha"})
+	net.AddRouter(hoyan.Router{Name: "D", AS: 200, Vendor: "alpha"})
+	net.AddLink("A", "B", 10)
+	net.AddLink("C", "A", 10)
+	net.AddLink("D", "B", 10)
+
+	bCfg := `hostname B
+router bgp 100
+ neighbor A remote-as 100
+ neighbor D remote-as 200
+ neighbor D route-policy LP500 in
+route-policy LP500 permit 10
+ set local-preference 500`
+	if withWeightRule {
+		bCfg += `
+route-policy W100 permit 10
+ set weight 100`
+		bCfg = bCfg + "\n" // separate policies from the neighbor binding
+		bCfg += `router bgp 100
+ neighbor A route-policy W100 in`
+	}
+
+	net.SetConfig("A", `hostname A
+router bgp 100
+ neighbor B remote-as 100
+ neighbor C remote-as 200
+ neighbor C route-policy LP300 in
+route-policy LP300 permit 10
+ set local-preference 300`)
+	net.SetConfig("B", bCfg)
+	net.SetConfig("C", `hostname C
+router bgp 200
+ network 10.0.1.0/24
+ neighbor A remote-as 100`)
+	net.SetConfig("D", `hostname D
+router bgp 200
+ network 10.0.1.0/24
+ neighbor B remote-as 100`)
+	return net
+}
+
+func check(label string, net *hoyan.Network) {
+	v, err := net.Verifier(hoyan.Options{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := v.CheckRacing("10.0.1.0/24")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Ambiguous {
+		fmt.Printf("%s: AMBIGUOUS — %d stable convergences, order-dependent at %v\n",
+			label, rep.Convergences, rep.AmbiguousRouters)
+	} else {
+		fmt.Printf("%s: deterministic convergence\n", label)
+	}
+}
+
+func main() {
+	fmt.Println("Figure 1 scenario: two origins for 10.0.1.0/24 in AS 200")
+	check("with the weight rule  ", build(true))
+	check("without the weight rule", build(false))
+	fmt.Println("=> the weight rule contradicts the local-pref design; whichever update")
+	fmt.Println("   reaches B first wins, so the rollout would be a coin flip (§7.1).")
+}

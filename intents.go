@@ -1,0 +1,104 @@
+package hoyan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIntents parses an operator intent file — the reachability
+// expectations update checking verifies against (§3.3's "check whether
+// this update met the intended reachability property"). One intent per
+// line:
+//
+//	reach <prefix> <router> [tolerate <k>]
+//	equivalent <routerA> <routerB>
+//	deterministic <prefix>
+//
+// Blank lines and #-comments are ignored. Equivalence and racing intents
+// are returned separately from reachability intents because they verify
+// through different queries.
+func ParseIntents(text string) (IntentSet, error) {
+	var out IntentSet
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "reach":
+			if len(f) != 3 && !(len(f) == 5 && f[3] == "tolerate") {
+				return out, fmt.Errorf("hoyan: intents line %d: reach wants PREFIX ROUTER [tolerate K]", i+1)
+			}
+			in := Intent{Prefix: f[1], Router: f[2]}
+			if len(f) == 5 {
+				k, err := strconv.Atoi(f[4])
+				if err != nil || k < 0 {
+					return out, fmt.Errorf("hoyan: intents line %d: bad tolerance %q", i+1, f[4])
+				}
+				in.MinTolerance = k
+			}
+			out.Reach = append(out.Reach, in)
+		case "equivalent":
+			if len(f) != 3 {
+				return out, fmt.Errorf("hoyan: intents line %d: equivalent wants ROUTER ROUTER", i+1)
+			}
+			out.Equivalent = append(out.Equivalent, [2]string{f[1], f[2]})
+		case "deterministic":
+			if len(f) != 2 {
+				return out, fmt.Errorf("hoyan: intents line %d: deterministic wants PREFIX", i+1)
+			}
+			out.Deterministic = append(out.Deterministic, f[1])
+		default:
+			return out, fmt.Errorf("hoyan: intents line %d: unknown intent %q", i+1, f[0])
+		}
+	}
+	return out, nil
+}
+
+// IntentSet groups the three intent classes.
+type IntentSet struct {
+	Reach         []Intent
+	Equivalent    [][2]string
+	Deterministic []string
+}
+
+// Empty reports whether the set contains no intents.
+func (s IntentSet) Empty() bool {
+	return len(s.Reach) == 0 && len(s.Equivalent) == 0 && len(s.Deterministic) == 0
+}
+
+// CheckIntentSet verifies every intent in the set and returns all
+// violations — the complete update-checking gate of Figure 2.
+func (v *Verifier) CheckIntentSet(s IntentSet) ([]Violation, error) {
+	out, err := v.CheckIntents(s.Reach)
+	if err != nil {
+		return out, err
+	}
+	for _, pair := range s.Equivalent {
+		rep, err := v.RoleEquivalence(pair[0], pair[1])
+		if err != nil {
+			return out, err
+		}
+		if !rep.Equivalent {
+			out = append(out, Violation{
+				Kind: "equivalence", Router: pair[1],
+				Details: fmt.Sprintf("%s vs %s: %s", pair[0], pair[1], strings.Join(rep.Differences, "; ")),
+			})
+		}
+	}
+	for _, p := range s.Deterministic {
+		rep, err := v.CheckRacing(p)
+		if err != nil {
+			return out, err
+		}
+		if rep.Ambiguous {
+			out = append(out, Violation{
+				Kind: "racing", Prefix: p,
+				Details: fmt.Sprintf("%d convergences at %v", rep.Convergences, rep.AmbiguousRouters),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package hoyan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIntents(t *testing.T) {
+	s, err := ParseIntents(`
+# service intents
+reach 10.0.0.0/8 D
+reach 10.0.0.0/8 C tolerate 1
+equivalent pe1 pe2
+deterministic 10.0.0.0/8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reach) != 2 || s.Reach[1].MinTolerance != 1 {
+		t.Fatalf("reach %v", s.Reach)
+	}
+	if len(s.Equivalent) != 1 || s.Equivalent[0] != [2]string{"pe1", "pe2"} {
+		t.Fatalf("equivalent %v", s.Equivalent)
+	}
+	if len(s.Deterministic) != 1 {
+		t.Fatalf("deterministic %v", s.Deterministic)
+	}
+	if s.Empty() {
+		t.Fatal("set is not empty")
+	}
+	if e, _ := ParseIntents(""); !e.Empty() {
+		t.Fatal("empty input is empty set")
+	}
+}
+
+func TestParseIntentErrors(t *testing.T) {
+	for _, bad := range []string{
+		"reach 10.0.0.0/8",
+		"reach 10.0.0.0/8 D tolerate x",
+		"reach 10.0.0.0/8 D frob 1",
+		"equivalent a",
+		"deterministic",
+		"frobnicate a b",
+	} {
+		if _, err := ParseIntents(bad); err == nil {
+			t.Errorf("ParseIntents(%q) must fail", bad)
+		}
+	}
+}
+
+func TestCheckIntentSet(t *testing.T) {
+	n := figure4Net(t)
+	v, err := n.Verifier(Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := ParseIntents(`
+reach 10.0.0.0/8 D
+reach 10.0.0.0/8 D tolerate 1
+equivalent B D
+deterministic 10.0.0.0/8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols, err := v.CheckIntentSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: the tolerance intent fails (D breaks at 1 failure) and
+	// the equivalence intent fails (B and D see different paths); plain
+	// reach and determinism hold.
+	kinds := map[string]int{}
+	for _, vi := range viols {
+		kinds[vi.Kind]++
+	}
+	if kinds["tolerance"] != 1 || kinds["equivalence"] != 1 || len(viols) != 2 {
+		t.Fatalf("violations %v", viols)
+	}
+	if !strings.Contains(viols[1].Details, "vs") && !strings.Contains(viols[0].Details, "vs") {
+		t.Fatalf("equivalence details missing: %v", viols)
+	}
+}

@@ -1,0 +1,273 @@
+// Package baseline_test cross-checks the three reimplemented comparators
+// against the Hoyan engine on shared networks: all four must agree on
+// k-failure verdicts wherever their abstractions are exact, and their cost
+// metrics must exhibit the scaling shapes Tables 4/5 report.
+package baseline_test
+
+import (
+	"testing"
+
+	"hoyan/internal/baseline/batfish"
+	"hoyan/internal/baseline/minesweeper"
+	"hoyan/internal/baseline/plankton"
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+// diamond builds the Figure 4 eBGP network (exact for every baseline's
+// abstraction: no iBGP, no policies).
+func diamond(t testing.TB) (*topo.Network, config.Snapshot) {
+	t.Helper()
+	net := topo.NewNetwork()
+	a := net.MustAddNode(topo.Node{Name: "A", AS: 100, Vendor: behavior.VendorAlpha})
+	b := net.MustAddNode(topo.Node{Name: "B", AS: 200, Vendor: behavior.VendorAlpha})
+	c := net.MustAddNode(topo.Node{Name: "C", AS: 300, Vendor: behavior.VendorAlpha})
+	d := net.MustAddNode(topo.Node{Name: "D", AS: 400, Vendor: behavior.VendorAlpha})
+	net.MustAddLink(a, c, 10) // L1
+	net.MustAddLink(a, b, 10) // L2
+	net.MustAddLink(b, c, 10) // L3
+	net.MustAddLink(c, d, 10) // L4
+	snap := config.Snapshot{}
+	for name, text := range map[string]string{
+		"A": "hostname A\nvendor alpha\nrouter bgp 100\n network 10.0.0.0/8\n neighbor B remote-as 200\n neighbor C remote-as 300\n",
+		"B": "hostname B\nvendor alpha\nrouter bgp 200\n neighbor A remote-as 100\n neighbor C remote-as 300\n",
+		"C": "hostname C\nvendor alpha\nrouter bgp 300\n neighbor A remote-as 100\n neighbor B remote-as 200\n neighbor D remote-as 400\n",
+		"D": "hostname D\nvendor alpha\nrouter bgp 400\n neighbor C remote-as 300\n",
+	} {
+		dcfg, err := config.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[name] = dcfg
+	}
+	return net, snap
+}
+
+func hoyanTolerant(t testing.TB, net *topo.Network, snap config.Snapshot, prefix netaddr.Prefix, target string, k int) bool {
+	t.Helper()
+	m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.K = k
+	res, err := core.NewSimulator(m, opts).Run(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := m.Resolve(target)
+	return res.KTolerant(node, core.AnyRouteTo(prefix), k)
+}
+
+func TestAllVerifiersAgreeOnDiamond(t *testing.T) {
+	net, snap := diamond(t)
+	p := netaddr.MustParse("10.0.0.0/8")
+	bf := batfish.New(net, snap, behavior.TrueProfiles())
+	ms, err := minesweeper.New(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := plankton.New(net, snap, behavior.TrueProfiles())
+
+	cases := []struct {
+		target string
+		k      int
+		want   bool // tolerant?
+	}{
+		{"D", 0, true},
+		{"D", 1, false}, // L4 is a single point of failure
+		{"C", 1, true},  // two paths into C
+		{"C", 2, false},
+		{"B", 1, true},
+		{"B", 2, false},
+	}
+	for _, cse := range cases {
+		want := hoyanTolerant(t, net, snap, p, cse.target, cse.k)
+		if want != cse.want {
+			t.Fatalf("hoyan(%s,k=%d) = %v, want %v", cse.target, cse.k, want, cse.want)
+		}
+		bfRep, err := bf.CheckRouteReach(p, cse.target, cse.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bfRep.Tolerant != want {
+			t.Errorf("batfish(%s,k=%d) = %v, want %v", cse.target, cse.k, bfRep.Tolerant, want)
+		}
+		msRep, err := ms.CheckRouteReach(p, cse.target, cse.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msRep.Tolerant != want {
+			t.Errorf("minesweeper(%s,k=%d) = %v, want %v", cse.target, cse.k, msRep.Tolerant, want)
+		}
+		pkRep, err := pk.CheckRouteReach(p, cse.target, cse.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkRep.Tolerant != want {
+			t.Errorf("plankton(%s,k=%d) = %v, want %v", cse.target, cse.k, pkRep.Tolerant, want)
+		}
+	}
+}
+
+func TestBatfishScenarioCountsAreCombinatorial(t *testing.T) {
+	net, snap := diamond(t)
+	p := netaddr.MustParse("10.0.0.0/8")
+	bf := batfish.New(net, snap, behavior.TrueProfiles())
+	// C is 1-tolerant: k=1 explores C(4,0)+C(4,1)=5 scenarios.
+	rep, err := bf.CheckRouteReach(p, "C", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tolerant || rep.Scenarios != 5 {
+		t.Fatalf("k=1 scenarios = %d, want 5", rep.Scenarios)
+	}
+	// k=2 stops early at the first violating pair but must explore beyond
+	// the k=1 budget.
+	rep2, err := bf.CheckRouteReach(p, "C", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Tolerant || rep2.Scenarios <= 5 {
+		t.Fatalf("k=2 rep %+v", rep2)
+	}
+	if len(rep2.Witness) != 2 {
+		t.Fatalf("witness %v", rep2.Witness)
+	}
+}
+
+func TestBatfishPacketReach(t *testing.T) {
+	net, snap := diamond(t)
+	p := netaddr.MustParse("10.0.0.0/8")
+	bf := batfish.New(net, snap, behavior.TrueProfiles())
+	rep, err := bf.CheckPacketReach(p, "D", "A", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Tolerant {
+		t.Fatal("packets D→A must flow with all links up")
+	}
+	rep1, err := bf.CheckPacketReach(p, "D", "A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Tolerant {
+		t.Fatal("L4 failure must break D→A packets")
+	}
+}
+
+func TestMinesweeperWitnessAndFormulaGrowth(t *testing.T) {
+	net, snap := diamond(t)
+	p := netaddr.MustParse("10.0.0.0/8")
+	ms, err := minesweeper.New(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ms.CheckRouteReach(p, "D", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tolerant {
+		t.Fatal("D is not 1-tolerant")
+	}
+	// Witness must contain L4 (link 3).
+	foundL4 := false
+	for _, l := range rep.Witness {
+		if l == 3 {
+			foundL4 = true
+		}
+	}
+	if !foundL4 {
+		t.Fatalf("witness %v must fail L4", rep.Witness)
+	}
+	if rep.Clauses < 100 {
+		t.Fatalf("monolithic formula suspiciously small: %d clauses", rep.Clauses)
+	}
+
+	// Appendix F shape: the monolithic formula dwarfs Hoyan's per-prefix
+	// reachability formula on the same query.
+	m, _ := core.Assemble(net, snap, behavior.TrueProfiles())
+	res, _ := core.NewSimulator(m, core.DefaultOptions()).Run(p)
+	d, _ := m.Resolve("D")
+	_, hoyanLen := res.MinFailuresToLose(d, core.AnyRouteTo(p))
+	if hoyanLen*10 > rep.Clauses {
+		t.Fatalf("expected ≥10x formula-size gap: hoyan=%d minesweeper=%d", hoyanLen, rep.Clauses)
+	}
+}
+
+func TestMinesweeperFormulaGrowsWithNetwork(t *testing.T) {
+	small := mustWAN(t, gen.Small())
+	p := small.Prefixes()[0]
+	ms, err := minesweeper.New(small.Net, small.Snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	encSmall, err := ms.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netD, snapD := diamond(t)
+	msD, _ := minesweeper.New(netD, snapD, behavior.TrueProfiles())
+	encD, err := msD.Encode(netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encSmall.Clauses <= 4*encD.Clauses {
+		t.Fatalf("formula must blow up with network size: %d vs %d", encSmall.Clauses, encD.Clauses)
+	}
+}
+
+func mustWAN(t testing.TB, p gen.Params) *gen.WAN {
+	t.Helper()
+	w, err := gen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPlanktonDetectsRacingNatively(t *testing.T) {
+	w := mustWAN(t, gen.Small())
+	pk := plankton.New(w.Net, w.Snap, behavior.TrueProfiles())
+	p := w.Prefixes()[0]
+	rep, err := pk.Explore(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ambiguous {
+		t.Fatal("clean WAN must have a unique convergence")
+	}
+	if rep.ConvergedStates != 1 || rep.StatesExplored == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestPlanktonStateBudget(t *testing.T) {
+	w := mustWAN(t, gen.Small())
+	pk := plankton.New(w.Net, w.Snap, behavior.TrueProfiles())
+	pk.MaxStates = 1
+	if _, err := pk.Explore(w.Prefixes()[0], nil, nil); err == nil {
+		t.Fatal("tiny budget must error (timeout emulation)")
+	}
+}
+
+func TestUnknownTargets(t *testing.T) {
+	net, snap := diamond(t)
+	p := netaddr.MustParse("10.0.0.0/8")
+	bf := batfish.New(net, snap, behavior.TrueProfiles())
+	if _, err := bf.CheckRouteReach(p, "nope", 0); err == nil {
+		t.Fatal("batfish unknown target")
+	}
+	ms, _ := minesweeper.New(net, snap, behavior.TrueProfiles())
+	if _, err := ms.CheckRouteReach(p, "nope", 0); err == nil {
+		t.Fatal("minesweeper unknown target")
+	}
+	pk := plankton.New(net, snap, behavior.TrueProfiles())
+	if _, err := pk.CheckRouteReach(p, "nope", 0); err == nil {
+		t.Fatal("plankton unknown target")
+	}
+}

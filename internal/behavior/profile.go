@@ -1,0 +1,313 @@
+// Package behavior implements the device behavior model of Figure 3 —
+// the ingress-policy → route-selector → egress-policy pipelines for the
+// control and data planes — parameterized by vendor-specific behaviors
+// (VSBs).
+//
+// The same Device type serves two masters: the verifier instantiates it
+// with the profiles its model registry *believes*, while the ground-truth
+// device emulator (package device) instantiates it with the vendors' *true*
+// profiles. The behavior-model tuner's job is to drive the former toward
+// the latter, one patch per discovered VSB.
+package behavior
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VSB identifies one vendor-specific behavior from Table 2 of the paper.
+type VSB string
+
+// The eight VSBs of Table 2.
+const (
+	VSBDefaultACL    VSB = "default-acl"          // permit or deny unmatched packets
+	VSBDefaultPolicy VSB = "default-route-policy" // accept or deny unmatched updates
+	VSBCommunity     VSB = "ext-community"        // keep or strip communities on egress
+	VSBRedistDefault VSB = "route-redistribution" // redistribute 0.0.0.0/0 or not
+	VSBASLoop        VSB = "as-loop"              // allow repeated AS numbers in path
+	VSBRemovePrivate VSB = "remove-private-as"    // remove all vs leading private ASes
+	VSBSelfNextHop   VSB = "self-next-hop"        // self as next-hop on iBGP VPN peers
+	VSBLocalAS       VSB = "local-as"             // old AS only vs old+new during migration
+)
+
+// AllVSBs lists every behavior point in Table 2 order.
+var AllVSBs = []VSB{
+	VSBDefaultACL, VSBDefaultPolicy, VSBCommunity, VSBRedistDefault,
+	VSBASLoop, VSBRemovePrivate, VSBSelfNextHop, VSBLocalAS,
+}
+
+// PatchLines records the lines-of-patch cost the paper reports per VSB
+// (Table 2, "# patch-lines").
+var PatchLines = map[VSB]int{
+	VSBDefaultACL:    40,
+	VSBDefaultPolicy: 39,
+	VSBCommunity:     46,
+	VSBRedistDefault: 30,
+	VSBASLoop:        26,
+	VSBRemovePrivate: 66,
+	VSBSelfNextHop:   13,
+	VSBLocalAS:       17,
+}
+
+// Profile is the concrete set of behavior switches of one vendor/SKU.
+type Profile struct {
+	Vendor string
+
+	// DefaultACLPermit: packets matching no explicit ACL rule are
+	// permitted (true) or dropped (false).
+	DefaultACLPermit bool
+	// DefaultPolicyPermit: route updates matching no explicit policy term
+	// are accepted (true) or denied (false).
+	DefaultPolicyPermit bool
+	// KeepCommunities: communities stay in updates on egress by default
+	// (true) or are stripped (false) — the Figure 6 VSB.
+	KeepCommunities bool
+	// RedistributeDefault: the default route 0.0.0.0/0 participates in
+	// route redistribution (true) or is silently excluded (false).
+	RedistributeDefault bool
+	// AllowASLoop: received paths may contain this router's own AS
+	// (loop detection off) — some vendors allow configured repetitions.
+	AllowASLoop bool
+	// RemovePrivateAll: remove-private-AS strips every private AS (true,
+	// "Vendor A") or only the leading private run (false, "Vendor B").
+	RemovePrivateAll bool
+	// SelfNextHopVPN: announcing over an iBGP VPN session automatically
+	// rewrites next-hop to self.
+	SelfNextHopVPN bool
+	// LocalASBoth: during AS migration the update carries both the old
+	// and the new AS (true) or just the old one (false).
+	LocalASBoth bool
+}
+
+// Get returns the value of one behavior switch, for diffing registries.
+func (p Profile) Get(v VSB) bool {
+	switch v {
+	case VSBDefaultACL:
+		return p.DefaultACLPermit
+	case VSBDefaultPolicy:
+		return p.DefaultPolicyPermit
+	case VSBCommunity:
+		return p.KeepCommunities
+	case VSBRedistDefault:
+		return p.RedistributeDefault
+	case VSBASLoop:
+		return p.AllowASLoop
+	case VSBRemovePrivate:
+		return p.RemovePrivateAll
+	case VSBSelfNextHop:
+		return p.SelfNextHopVPN
+	case VSBLocalAS:
+		return p.LocalASBoth
+	}
+	return false
+}
+
+// With returns a copy of the profile with one switch set — the patch
+// operation the tuner emits.
+func (p Profile) With(v VSB, value bool) Profile {
+	switch v {
+	case VSBDefaultACL:
+		p.DefaultACLPermit = value
+	case VSBDefaultPolicy:
+		p.DefaultPolicyPermit = value
+	case VSBCommunity:
+		p.KeepCommunities = value
+	case VSBRedistDefault:
+		p.RedistributeDefault = value
+	case VSBASLoop:
+		p.AllowASLoop = value
+	case VSBRemovePrivate:
+		p.RemovePrivateAll = value
+	case VSBSelfNextHop:
+		p.SelfNextHopVPN = value
+	case VSBLocalAS:
+		p.LocalASBoth = value
+	}
+	return p
+}
+
+// Vendor names used across the repo. The paper anonymizes vendors as A/B;
+// we use alpha/beta/gamma.
+const (
+	VendorAlpha = "alpha"
+	VendorBeta  = "beta"
+	VendorGamma = "gamma"
+)
+
+// TrueProfiles returns the ground-truth behavior of each vendor — what the
+// emulated "real devices" do. The switch values are chosen so each VSB in
+// Table 2 has at least one disagreeing vendor pair:
+//
+//   - alpha: permissive ACL default, strict policy default, keeps
+//     communities (Figure 6's Vendor A), redistributes the default route,
+//     strict AS-loop check, removes ALL private ASes, no self-next-hop on
+//     VPN, old-AS-only migration.
+//   - beta: deny-by-default ACL, permit-by-default policy, strips
+//     communities (Figure 6's Vendor B), keeps 0/0 out of redistribution,
+//     allows AS repetitions, removes only leading private ASes,
+//     self-next-hop on VPN sessions, old+new AS during migration.
+//   - gamma: mixed — like alpha except deny-default policy, strips
+//     communities and self-next-hop on VPN.
+func TrueProfiles() *Registry {
+	r := NewRegistry(Profile{})
+	r.Set(Profile{
+		Vendor:              VendorAlpha,
+		DefaultACLPermit:    true,
+		DefaultPolicyPermit: false,
+		KeepCommunities:     true,
+		RedistributeDefault: true,
+		AllowASLoop:         false,
+		RemovePrivateAll:    true,
+		SelfNextHopVPN:      false,
+		LocalASBoth:         false,
+	})
+	r.Set(Profile{
+		Vendor:              VendorBeta,
+		DefaultACLPermit:    false,
+		DefaultPolicyPermit: true,
+		KeepCommunities:     false,
+		RedistributeDefault: false,
+		AllowASLoop:         true,
+		RemovePrivateAll:    false,
+		SelfNextHopVPN:      true,
+		LocalASBoth:         true,
+	})
+	r.Set(Profile{
+		Vendor:              VendorGamma,
+		DefaultACLPermit:    true,
+		DefaultPolicyPermit: false,
+		KeepCommunities:     false,
+		RedistributeDefault: true,
+		AllowASLoop:         false,
+		RemovePrivateAll:    true,
+		SelfNextHopVPN:      true,
+		LocalASBoth:         false,
+	})
+	return r
+}
+
+// NaiveProfiles returns the registry a verifier starts with before any VSB
+// is discovered: every vendor is assumed to behave like the documentation's
+// common case (alpha's semantics). The gap between NaiveProfiles and
+// TrueProfiles is exactly the set of VSBs the tuner must find.
+func NaiveProfiles() *Registry {
+	assumed := Profile{
+		DefaultACLPermit:    true,
+		DefaultPolicyPermit: false,
+		KeepCommunities:     true,
+		RedistributeDefault: true,
+		AllowASLoop:         false,
+		RemovePrivateAll:    true,
+		SelfNextHopVPN:      false,
+		LocalASBoth:         false,
+	}
+	r := NewRegistry(assumed)
+	for _, v := range []string{VendorAlpha, VendorBeta, VendorGamma} {
+		p := assumed
+		p.Vendor = v
+		r.Set(p)
+	}
+	return r
+}
+
+// Registry maps vendor names to behavior profiles.
+type Registry struct {
+	fallback Profile
+	profiles map[string]Profile
+	patches  []Patch
+}
+
+// NewRegistry returns a registry that answers fallback for unknown vendors.
+func NewRegistry(fallback Profile) *Registry {
+	return &Registry{fallback: fallback, profiles: map[string]Profile{}}
+}
+
+// Set installs or replaces a vendor profile.
+func (r *Registry) Set(p Profile) { r.profiles[p.Vendor] = p }
+
+// Get returns the profile for a vendor, falling back to the registry
+// default for unknown vendors.
+func (r *Registry) Get(vendor string) Profile {
+	if p, ok := r.profiles[vendor]; ok {
+		return p
+	}
+	p := r.fallback
+	p.Vendor = vendor
+	return p
+}
+
+// Vendors lists the registered vendor names, sorted.
+func (r *Registry) Vendors() []string {
+	out := make([]string, 0, len(r.profiles))
+	for v := range r.profiles {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the registry (patch experiments run on copies).
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry(r.fallback)
+	for _, p := range r.profiles {
+		out.Set(p)
+	}
+	out.patches = append([]Patch(nil), r.patches...)
+	return out
+}
+
+// Patch is one behavior-model fix: set a vendor's VSB switch to a value.
+// This is what the tuner emits and what an operator reviews (§6: "operators
+// write patches embedded in corresponding device behavior models").
+type Patch struct {
+	Vendor string
+	VSB    VSB
+	Value  bool
+	// Note is a human-readable localization hint (device, prefix,
+	// attribute where the divergence was observed).
+	Note string
+}
+
+// String renders the patch.
+func (p Patch) String() string {
+	return fmt.Sprintf("patch %s.%s=%v (%d lines) %s", p.Vendor, p.VSB, p.Value, PatchLines[p.VSB], p.Note)
+}
+
+// Apply installs the patch.
+func (r *Registry) Apply(p Patch) {
+	prof := r.Get(p.Vendor)
+	prof = prof.With(p.VSB, p.Value)
+	prof.Vendor = p.Vendor
+	r.Set(prof)
+	r.patches = append(r.patches, p)
+}
+
+// Patches returns every patch applied so far, in order.
+func (r *Registry) Patches() []Patch { return r.patches }
+
+// Diff lists (vendor, VSB) pairs on which two registries disagree, sorted.
+// Tests use it to assert the tuner converged.
+func Diff(a, b *Registry) []Patch {
+	var out []Patch
+	vendors := map[string]bool{}
+	for _, v := range a.Vendors() {
+		vendors[v] = true
+	}
+	for _, v := range b.Vendors() {
+		vendors[v] = true
+	}
+	names := make([]string, 0, len(vendors))
+	for v := range vendors {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		pa, pb := a.Get(v), b.Get(v)
+		for _, s := range AllVSBs {
+			if pa.Get(s) != pb.Get(s) {
+				out = append(out, Patch{Vendor: v, VSB: s, Value: pb.Get(s)})
+			}
+		}
+	}
+	return out
+}

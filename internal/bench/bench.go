@@ -1,0 +1,103 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§8, Appendices E/F) as text rows and series over the
+// synthetic WAN presets. Absolute numbers differ from the paper's testbed;
+// the shapes — who wins, by what order of magnitude, where the
+// combinatorial walls appear — are the reproduction target (see
+// EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CDFRow summarizes a sample distribution at the percentiles the paper's
+// CDF figures are read at.
+func CDFRow(name string, samples []time.Duration) []string {
+	if len(samples) == 0 {
+		return []string{name, "-", "-", "-", "-", "-"}
+	}
+	ds := append([]time.Duration(nil), samples...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(ds)-1))
+		return ds[idx]
+	}
+	return []string{name,
+		fmtDur(pct(0.10)), fmtDur(pct(0.50)), fmtDur(pct(0.90)), fmtDur(pct(0.98)), fmtDur(ds[len(ds)-1])}
+}
+
+// CDFHeader matches CDFRow's columns.
+func CDFHeader(label string) []string {
+	return []string{label, "p10", "p50", "p90", "p98", "max"}
+}
+
+// CDFIntRow is CDFRow for unitless integer samples (formula lengths).
+func CDFIntRow(name string, samples []int) []string {
+	if len(samples) == 0 {
+		return []string{name, "-", "-", "-", "-", "-"}
+	}
+	ds := append([]int(nil), samples...)
+	sort.Ints(ds)
+	pct := func(p float64) int { return ds[int(p*float64(len(ds)-1))] }
+	return []string{name,
+		fmt.Sprint(pct(0.10)), fmt.Sprint(pct(0.50)), fmt.Sprint(pct(0.90)), fmt.Sprint(pct(0.98)), fmt.Sprint(ds[len(ds)-1])}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Microseconds()))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

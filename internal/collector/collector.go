@@ -1,0 +1,303 @@
+// Package collector implements the network-state collection plane of
+// Figure 2: the backend "internal systems that record and maintain" online
+// RIBs and route updates. The device.Oracle is exposed over TCP with a
+// line-oriented request/response protocol (one logical pull per request,
+// mirroring the per-device ext-RIB pulls whose latency Figure 15
+// measures), and a client used by tooling to fetch state remotely.
+//
+// Protocol (all lines are '\n'-terminated UTF-8):
+//
+//	-> EXTRIB <router> <prefix>
+//	<- OK <n>
+//	<- ROUTE <prefix> <protocol> <aspath> <lp> <med> <weight> <nexthop> <comms>
+//	   (n lines)
+//
+//	-> UPDATES <from> <to> <prefix>
+//	<- OK <n>
+//	<- ROUTE ... (n lines)
+//
+//	-> QUIT
+//	<- BYE
+//
+// Errors: "ERR <message>". Unknown verbs are errors; the connection stays
+// usable. Fields never contain spaces (community lists are
+// comma-separated), so strings.Fields round-trips.
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hoyan/internal/device"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/route"
+	"hoyan/internal/topo"
+)
+
+// Server serves oracle state over a listener.
+type Server struct {
+	oracle *device.Oracle
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an oracle.
+func NewServer(o *device.Oracle) *Server { return &Server{oracle: o} }
+
+// Serve accepts connections until the listener is closed. It returns nil
+// after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		switch strings.ToUpper(f[0]) {
+		case "QUIT":
+			fmt.Fprintln(w, "BYE")
+			w.Flush()
+			return
+		case "EXTRIB":
+			if len(f) != 3 {
+				fmt.Fprintln(w, "ERR EXTRIB wants ROUTER PREFIX")
+				break
+			}
+			s.serveExtRIB(w, f[1], f[2])
+		case "UPDATES":
+			if len(f) != 4 {
+				fmt.Fprintln(w, "ERR UPDATES wants FROM TO PREFIX")
+				break
+			}
+			s.serveUpdates(w, f[1], f[2], f[3])
+		default:
+			fmt.Fprintf(w, "ERR unknown verb %q\n", f[0])
+		}
+		w.Flush()
+	}
+}
+
+func (s *Server) resolve(name string) (topo.NodeID, error) {
+	id, ok := s.oracle.Model.Resolve(name)
+	if !ok {
+		return topo.NoNode, fmt.Errorf("unknown router %q", name)
+	}
+	return id, nil
+}
+
+func (s *Server) serveExtRIB(w *bufio.Writer, router, prefix string) {
+	id, err := s.resolve(router)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	p, err := netaddr.Parse(prefix)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	rib, err := s.oracle.PullExtRIB(id, p)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d\n", len(rib.Entries))
+	for _, e := range rib.Entries {
+		writeRoute(w, e.Route, s.oracle.Model)
+	}
+}
+
+func (s *Server) serveUpdates(w *bufio.Writer, from, to, prefix string) {
+	fid, err := s.resolve(from)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	tid, err := s.resolve(to)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	p, err := netaddr.Parse(prefix)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	log, err := s.oracle.UpdateLog(fid, tid, p)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d\n", len(log))
+	for _, r := range log {
+		writeRoute(w, r, s.oracle.Model)
+	}
+}
+
+func writeRoute(w *bufio.Writer, r route.Route, m interface {
+	Resolve(string) (topo.NodeID, bool)
+}) {
+	comms := "-"
+	if len(r.Comms) > 0 {
+		parts := make([]string, len(r.Comms))
+		for i, c := range r.Comms {
+			parts[i] = c.String()
+		}
+		comms = strings.Join(parts, ",")
+	}
+	fmt.Fprintf(w, "ROUTE %s %s %s %d %d %d %d %s\n",
+		r.Prefix, r.Protocol, r.ASPathString(), r.LocalPref, r.MED, r.Weight, int32(r.NextHop), comms)
+}
+
+// Client pulls oracle state over the wire.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a collector server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	// Best-effort read of BYE.
+	c.r.Scan()
+	return c.conn.Close()
+}
+
+// RemoteRoute is the wire representation of one route.
+type RemoteRoute struct {
+	Prefix      netaddr.Prefix
+	Protocol    string
+	ASPath      string
+	LocalPref   uint32
+	MED         uint32
+	Weight      uint32
+	NextHop     int32
+	Communities []string
+}
+
+// ExtRIB pulls a device's extended RIB for a prefix.
+func (c *Client) ExtRIB(router string, p netaddr.Prefix) ([]RemoteRoute, error) {
+	fmt.Fprintf(c.w, "EXTRIB %s %s\n", router, p)
+	return c.readRoutes()
+}
+
+// Updates pulls the BMP-style update log of one session.
+func (c *Client) Updates(from, to string, p netaddr.Prefix) ([]RemoteRoute, error) {
+	fmt.Fprintf(c.w, "UPDATES %s %s %s\n", from, to, p)
+	return c.readRoutes()
+}
+
+// ErrProtocol reports a malformed server response.
+var ErrProtocol = errors.New("collector: protocol error")
+
+func (c *Client) readRoutes() ([]RemoteRoute, error) {
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.r.Scan() {
+		return nil, fmt.Errorf("%w: connection closed", ErrProtocol)
+	}
+	head := strings.Fields(c.r.Text())
+	if len(head) == 0 {
+		return nil, ErrProtocol
+	}
+	if head[0] == "ERR" {
+		return nil, fmt.Errorf("collector: server: %s", strings.TrimPrefix(c.r.Text(), "ERR "))
+	}
+	if head[0] != "OK" || len(head) != 2 {
+		return nil, fmt.Errorf("%w: unexpected %q", ErrProtocol, c.r.Text())
+	}
+	n, err := strconv.Atoi(head[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad count %q", ErrProtocol, head[1])
+	}
+	out := make([]RemoteRoute, 0, n)
+	for i := 0; i < n; i++ {
+		if !c.r.Scan() {
+			return nil, fmt.Errorf("%w: truncated response", ErrProtocol)
+		}
+		f := strings.Fields(c.r.Text())
+		if len(f) != 9 || f[0] != "ROUTE" {
+			return nil, fmt.Errorf("%w: bad route line %q", ErrProtocol, c.r.Text())
+		}
+		p, err := netaddr.Parse(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		lp, err1 := strconv.ParseUint(f[4], 10, 32)
+		med, err2 := strconv.ParseUint(f[5], 10, 32)
+		wt, err3 := strconv.ParseUint(f[6], 10, 32)
+		nh, err4 := strconv.ParseInt(f[7], 10, 32)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("%w: bad numeric field in %q", ErrProtocol, c.r.Text())
+		}
+		rr := RemoteRoute{
+			Prefix: p, Protocol: f[2], ASPath: f[3],
+			LocalPref: uint32(lp), MED: uint32(med), Weight: uint32(wt), NextHop: int32(nh),
+		}
+		if f[8] != "-" {
+			rr.Communities = strings.Split(f[8], ",")
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package collector
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/device"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+func startServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	net0 := topo.NewNetwork()
+	a := net0.MustAddNode(topo.Node{Name: "a", AS: 100, Vendor: behavior.VendorAlpha})
+	b := net0.MustAddNode(topo.Node{Name: "b", AS: 200, Vendor: behavior.VendorBeta})
+	net0.MustAddLink(a, b, 10)
+	snap := config.Snapshot{}
+	for name, text := range map[string]string{
+		"a": "hostname a\nvendor alpha\nrouter bgp 100\n network 10.0.0.0/8\n neighbor b remote-as 200\n neighbor b route-policy T out\nroute-policy T permit 10\n set community add 1:2\n",
+		"b": "hostname b\nvendor beta\nrouter bgp 200\n neighbor a remote-as 100\n",
+	} {
+		d, err := config.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[name] = d
+	}
+	oracle, err := device.NewOracle(net0, snap, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(oracle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+func TestExtRIBOverTheWire(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	routes, err := c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 {
+		t.Fatalf("routes %v", routes)
+	}
+	r := routes[0]
+	if r.Prefix != netaddr.MustParse("10.0.0.0/8") || r.Protocol != "ebgp" || r.ASPath != "100" {
+		t.Fatalf("route %+v", r)
+	}
+	if len(r.Communities) != 1 || r.Communities[0] != "1:2" {
+		t.Fatalf("communities %v (alpha keeps, so the tag must arrive)", r.Communities)
+	}
+}
+
+func TestUpdatesOverTheWire(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ups, err := c.Updates("a", "b", netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1 || ups[0].ASPath != "100" {
+		t.Fatalf("updates %v", ups)
+	}
+	// The reverse session carries the route echoed back (b strips its
+	// communities: beta vendor).
+	rev, err := c.Updates("b", "a", netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev) != 1 || len(rev[0].Communities) != 0 {
+		t.Fatalf("reverse updates %v (beta must strip communities)", rev)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.ExtRIB("nope", netaddr.MustParse("10.0.0.0/8")); err == nil || !strings.Contains(err.Error(), "unknown router") {
+		t.Fatalf("err = %v", err)
+	}
+	// Connection stays usable after an error.
+	if _, err := c.ExtRIB("a", netaddr.MustParse("10.0.0.0/8")); err != nil {
+		t.Fatalf("post-error request: %v", err)
+	}
+	if _, err := c.Updates("a", "nope", netaddr.MustParse("10.0.0.0/8")); err == nil {
+		t.Fatal("unknown to-router must fail")
+	}
+}
+
+func TestRawProtocol(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+
+	// Unknown verb.
+	fmt.Fprintf(conn, "FROB x\n")
+	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+		t.Fatalf("got %q", r.Text())
+	}
+	// Bad arity.
+	fmt.Fprintf(conn, "EXTRIB a\n")
+	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+		t.Fatalf("got %q", r.Text())
+	}
+	// Bad prefix.
+	fmt.Fprintf(conn, "EXTRIB a zzz\n")
+	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+		t.Fatalf("got %q", r.Text())
+	}
+	// QUIT.
+	fmt.Fprintf(conn, "QUIT\n")
+	if !r.Scan() || r.Text() != "BYE" {
+		t.Fatalf("got %q", r.Text())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8")); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package config
+
+import (
+	"testing"
+
+	"hoyan/internal/netaddr"
+)
+
+// FuzzParse: the parser must never panic, and any accepted configuration
+// must round-trip through the canonical writer.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleConfig)
+	f.Add("hostname x\nrouter bgp 1\n neighbor y remote-as 2\n")
+	f.Add("route-policy P deny 10\nroute-policy P permit 20\n set weight 1\n")
+	f.Add("ip route 10.0.0.0/8 r2 preference 7\nip prefix-list L permit 1.2.3.0/24 ge 25 le 32\n")
+	f.Add("router isis\n level 12\n metric q 9\n penetrate\n")
+	f.Add("access-list A permit any 0.0.0.0/0\ninterface p access-list A out\n")
+	f.Add("!\n# comment\n\nvendor beta\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse(text)
+		if err != nil {
+			return
+		}
+		out := Write(d)
+		d2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, out)
+		}
+		if Write(d2) != out {
+			t.Fatalf("canonical form unstable:\n%s\n---\n%s", out, Write(d2))
+		}
+	})
+}
+
+// FuzzParseTemplates: template parsing must never panic; accepted
+// templates must expand without panicking when every param is supplied.
+func FuzzParseTemplates(f *testing.F) {
+	f.Add("template a(x)\n line {x}\nend\n")
+	f.Add("template b()\n static line\nend\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		lib, err := ParseTemplates(text)
+		if err != nil {
+			return
+		}
+		for _, tpl := range lib {
+			args := map[string]string{}
+			for _, p := range tpl.Params {
+				args[p] = "v"
+			}
+			if _, err := tpl.Expand("dev", args); err != nil {
+				t.Fatalf("accepted template fails expansion: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzPrefixParse: netaddr parsing never panics and accepted prefixes
+// round-trip.
+func FuzzPrefixParse(f *testing.F) {
+	f.Add("10.0.0.0/8")
+	f.Add("255.255.255.255/32")
+	f.Add("0.0.0.0/0")
+	f.Add("1.2.3.4")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := netaddr.Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := netaddr.Parse(p.String())
+		if err != nil || q != p {
+			t.Fatalf("round trip %q -> %v -> %v (%v)", s, p, q, err)
+		}
+	})
+}

@@ -1,0 +1,618 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hoyan/internal/netaddr"
+	"hoyan/internal/policy"
+	"hoyan/internal/route"
+)
+
+// ParseError reports a configuration syntax or semantic error with its
+// line number.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("config: line %d: %s (in %q)", e.Line, e.Msg, e.Text)
+}
+
+type parser struct {
+	dev *Device
+	// block context
+	inBGP   bool
+	inISIS  bool
+	curTerm *policy.Term // current route-policy term
+	curRP   string
+	line    int
+	raw     string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Text: p.raw, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses a full device configuration.
+func Parse(text string) (*Device, error) {
+	p := &parser{dev: NewDevice("", "")}
+	for i, raw := range strings.Split(text, "\n") {
+		p.line = i + 1
+		p.raw = strings.TrimSpace(raw)
+		if err := p.parseLine(p.raw); err != nil {
+			return nil, err
+		}
+	}
+	p.closeTerm()
+	resolvePrefixLists(p.dev)
+	if err := p.dev.Validate(); err != nil {
+		return nil, err
+	}
+	return p.dev, nil
+}
+
+// resolvePrefixLists rebinds placeholder prefix-list references (created
+// while parsing "match prefix-list NAME") to the parsed lists.
+func resolvePrefixLists(d *Device) {
+	for _, rp := range d.RoutePolicies {
+		for i := range rp.Terms {
+			if pl := rp.Terms[i].Match.PrefixList; pl != nil {
+				if real, ok := d.PrefixLists[pl.Name]; ok {
+					rp.Terms[i].Match.PrefixList = real
+				}
+			}
+		}
+	}
+}
+
+func (p *parser) closeTerm() {
+	if p.curTerm != nil {
+		rp := p.dev.RoutePolicies[p.curRP]
+		rp.Terms = append(rp.Terms, *p.curTerm)
+		p.curTerm = nil
+	}
+}
+
+var topLevel = map[string]bool{
+	"hostname": true, "vendor": true, "router": true, "ip": true,
+	"route-policy": true, "access-list": true, "interface": true,
+}
+
+func (p *parser) parseLine(line string) error {
+	if line == "" || line == "!" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "!") {
+		return nil
+	}
+	f := strings.Fields(line)
+	head := f[0]
+	if topLevel[head] {
+		// Leaving any block context.
+		p.inBGP, p.inISIS = false, false
+		p.closeTerm()
+		return p.parseTop(f)
+	}
+	switch {
+	case p.curTerm != nil:
+		return p.parseTermLine(f)
+	case p.inBGP:
+		return p.parseBGPLine(f)
+	case p.inISIS:
+		return p.parseISISLine(f)
+	}
+	return p.errf("unknown command %q outside any block", head)
+}
+
+func (p *parser) parseTop(f []string) error {
+	switch f[0] {
+	case "hostname":
+		if len(f) != 2 {
+			return p.errf("hostname wants 1 argument")
+		}
+		p.dev.Hostname = f[1]
+	case "vendor":
+		if len(f) != 2 {
+			return p.errf("vendor wants 1 argument")
+		}
+		p.dev.Vendor = f[1]
+	case "router":
+		if len(f) >= 3 && f[1] == "bgp" {
+			as, err := parseU32(f[2])
+			if err != nil {
+				return p.errf("bad AS number %q", f[2])
+			}
+			if p.dev.BGP == nil {
+				p.dev.BGP = &BGP{AS: as}
+			} else {
+				p.dev.BGP.AS = as
+			}
+			p.inBGP = true
+			return nil
+		}
+		if len(f) == 2 && f[1] == "isis" {
+			if p.dev.ISIS == nil {
+				p.dev.ISIS = &ISIS{Enabled: true, Level: 2, Metrics: map[string]uint32{}}
+			}
+			p.dev.ISIS.Enabled = true
+			p.inISIS = true
+			return nil
+		}
+		return p.errf("unknown router process %v", f[1:])
+	case "ip":
+		return p.parseIP(f)
+	case "route-policy":
+		// route-policy NAME permit|deny SEQ
+		if len(f) != 4 {
+			return p.errf("route-policy wants NAME permit|deny SEQ")
+		}
+		name := f[1]
+		act, err := parseAction(f[2])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		seq, err := strconv.Atoi(f[3])
+		if err != nil {
+			return p.errf("bad sequence %q", f[3])
+		}
+		if _, ok := p.dev.RoutePolicies[name]; !ok {
+			p.dev.RoutePolicies[name] = &policy.RoutePolicy{Name: name}
+		}
+		p.curRP = name
+		p.curTerm = &policy.Term{Seq: seq, Action: act}
+	case "access-list":
+		// access-list NAME permit|deny SRC DST
+		if len(f) != 5 {
+			return p.errf("access-list wants NAME permit|deny SRC DST")
+		}
+		name := f[1]
+		act, err := parseAction(f[2])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		src, err := parseAnyPrefix(f[3])
+		if err != nil {
+			return p.errf("bad source %q", f[3])
+		}
+		dst, err := parseAnyPrefix(f[4])
+		if err != nil {
+			return p.errf("bad destination %q", f[4])
+		}
+		acl, ok := p.dev.ACLs[name]
+		if !ok {
+			acl = &policy.ACL{Name: name}
+			p.dev.ACLs[name] = acl
+		}
+		acl.Rules = append(acl.Rules, policy.ACLRule{
+			Seq: 10 * (len(acl.Rules) + 1), Action: act, Src: src, Dst: dst,
+		})
+	case "interface":
+		// interface PEER access-list NAME in|out
+		if len(f) != 5 || f[2] != "access-list" || (f[4] != "in" && f[4] != "out") {
+			return p.errf("interface wants PEER access-list NAME in|out")
+		}
+		p.dev.InterfaceACLs[f[1]+"/"+f[4]] = f[3]
+	}
+	return nil
+}
+
+func (p *parser) parseIP(f []string) error {
+	if len(f) < 2 {
+		return p.errf("bare ip command")
+	}
+	switch f[1] {
+	case "route":
+		// ip route PREFIX NEXTHOP [preference N]
+		if len(f) != 4 && len(f) != 6 {
+			return p.errf("ip route wants PREFIX NEXTHOP [preference N]")
+		}
+		pfx, err := netaddr.Parse(f[2])
+		if err != nil {
+			return p.errf("bad prefix %q", f[2])
+		}
+		sr := StaticRoute{Prefix: pfx, NextHop: f[3]}
+		if len(f) == 6 {
+			if f[4] != "preference" {
+				return p.errf("expected preference, got %q", f[4])
+			}
+			pref, err := parseU32(f[5])
+			if err != nil {
+				return p.errf("bad preference %q", f[5])
+			}
+			sr.Preference = pref
+		}
+		p.dev.Statics = append(p.dev.Statics, sr)
+	case "prefix-list":
+		// ip prefix-list NAME permit|deny PREFIX [ge N] [le N]
+		if len(f) < 5 {
+			return p.errf("ip prefix-list wants NAME permit|deny PREFIX [ge N] [le N]")
+		}
+		name := f[2]
+		act, err := parseAction(f[3])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		pfx, err := netaddr.Parse(f[4])
+		if err != nil {
+			return p.errf("bad prefix %q", f[4])
+		}
+		rule := policy.PrefixRule{Action: act, Prefix: pfx}
+		rest := f[5:]
+		for len(rest) >= 2 {
+			n, err := parseU32(rest[1])
+			if err != nil || n > 32 {
+				return p.errf("bad %s value %q", rest[0], rest[1])
+			}
+			switch rest[0] {
+			case "ge":
+				rule.GE = uint8(n)
+			case "le":
+				rule.LE = uint8(n)
+			default:
+				return p.errf("unknown prefix-list modifier %q", rest[0])
+			}
+			rest = rest[2:]
+		}
+		if len(rest) != 0 {
+			return p.errf("trailing tokens %v", rest)
+		}
+		pl, ok := p.dev.PrefixLists[name]
+		if !ok {
+			pl = &policy.PrefixList{Name: name}
+			p.dev.PrefixLists[name] = pl
+		}
+		pl.Rules = append(pl.Rules, rule)
+	default:
+		return p.errf("unknown ip command %q", f[1])
+	}
+	return nil
+}
+
+func (p *parser) parseBGPLine(f []string) error {
+	b := p.dev.BGP
+	switch f[0] {
+	case "router-id":
+		if len(f) != 2 {
+			return p.errf("router-id wants 1 argument")
+		}
+		pfx, err := netaddr.Parse(f[1])
+		if err != nil {
+			return p.errf("bad router-id %q", f[1])
+		}
+		b.RouterID = pfx.Addr
+	case "network":
+		if len(f) != 2 {
+			return p.errf("network wants PREFIX")
+		}
+		pfx, err := netaddr.Parse(f[1])
+		if err != nil {
+			return p.errf("bad prefix %q", f[1])
+		}
+		if !b.HasNetwork(pfx) {
+			b.Networks = append(b.Networks, pfx)
+		}
+	case "redistribute":
+		// redistribute static|isis|connected [route-policy NAME]
+		if len(f) != 2 && !(len(f) == 4 && f[2] == "route-policy") {
+			return p.errf("redistribute wants PROTO [route-policy NAME]")
+		}
+		switch f[1] {
+		case "static", "isis", "connected":
+		default:
+			return p.errf("cannot redistribute %q", f[1])
+		}
+		r := Redistribution{From: f[1]}
+		if len(f) == 4 {
+			r.Policy = f[3]
+		}
+		b.Redistribute = append(b.Redistribute, r)
+	case "aggregate-address":
+		// aggregate-address PREFIX components P1 P2 ...
+		if len(f) < 4 || f[2] != "components" {
+			return p.errf("aggregate-address wants PREFIX components P1 P2 ...")
+		}
+		agg, err := netaddr.Parse(f[1])
+		if err != nil {
+			return p.errf("bad aggregate prefix %q", f[1])
+		}
+		a := Aggregate{Prefix: agg, SummaryOnly: true}
+		for _, s := range f[3:] {
+			c, err := netaddr.Parse(s)
+			if err != nil {
+				return p.errf("bad component prefix %q", s)
+			}
+			if !agg.Covers(c) {
+				return p.errf("component %s outside aggregate %s", c, agg)
+			}
+			a.Components = append(a.Components, c)
+		}
+		b.Aggregates = append(b.Aggregates, a)
+	case "preference":
+		if len(f) != 2 {
+			return p.errf("preference wants N")
+		}
+		v, err := parseU32(f[1])
+		if err != nil {
+			return p.errf("bad preference %q", f[1])
+		}
+		b.Preference = v
+	case "local-as":
+		if len(f) != 2 {
+			return p.errf("local-as wants AS")
+		}
+		v, err := parseU32(f[1])
+		if err != nil {
+			return p.errf("bad local-as %q", f[1])
+		}
+		b.LocalAS = v
+	case "neighbor":
+		return p.parseNeighbor(f)
+	default:
+		return p.errf("unknown bgp command %q", f[0])
+	}
+	return nil
+}
+
+func (p *parser) parseNeighbor(f []string) error {
+	if len(f) < 3 {
+		return p.errf("neighbor wants PEER SUBCOMMAND")
+	}
+	n := p.dev.BGP.Neighbor(f[1])
+	switch f[2] {
+	case "remote-as":
+		if len(f) != 4 {
+			return p.errf("remote-as wants AS")
+		}
+		as, err := parseU32(f[3])
+		if err != nil {
+			return p.errf("bad AS %q", f[3])
+		}
+		n.RemoteAS = as
+	case "route-policy":
+		if len(f) != 5 || (f[4] != "in" && f[4] != "out") {
+			return p.errf("neighbor route-policy wants NAME in|out")
+		}
+		if f[4] == "in" {
+			n.InPolicy = f[3]
+		} else {
+			n.OutPolicy = f[3]
+		}
+	case "preference":
+		if len(f) != 4 {
+			return p.errf("neighbor preference wants N")
+		}
+		v, err := parseU32(f[3])
+		if err != nil {
+			return p.errf("bad preference %q", f[3])
+		}
+		n.Preference = v
+	case "next-hop-self":
+		n.NextHopSelf = true
+	case "route-reflector-client":
+		n.RouteReflectorClient = true
+	case "remove-private-as":
+		n.RemovePrivateAS = true
+	case "vpn":
+		n.VPN = true
+	case "allowas-in":
+		count := 1
+		if len(f) == 4 {
+			var err error
+			count, err = strconv.Atoi(f[3])
+			if err != nil || count < 1 {
+				return p.errf("bad allowas-in count %q", f[3])
+			}
+		}
+		n.AllowASIn = count
+	default:
+		return p.errf("unknown neighbor subcommand %q", f[2])
+	}
+	return nil
+}
+
+func (p *parser) parseISISLine(f []string) error {
+	i := p.dev.ISIS
+	switch f[0] {
+	case "level":
+		if len(f) != 2 {
+			return p.errf("level wants 1|2|12")
+		}
+		switch f[1] {
+		case "1":
+			i.Level = 1
+		case "2":
+			i.Level = 2
+		case "12", "1-2":
+			i.Level = 12
+		default:
+			return p.errf("bad isis level %q", f[1])
+		}
+	case "metric":
+		if len(f) != 3 {
+			return p.errf("metric wants PEER N")
+		}
+		v, err := parseU32(f[2])
+		if err != nil || v == 0 {
+			return p.errf("bad metric %q", f[2])
+		}
+		i.Metrics[f[1]] = v
+	case "penetrate":
+		i.Penetrate = true
+	default:
+		return p.errf("unknown isis command %q", f[0])
+	}
+	return nil
+}
+
+func (p *parser) parseTermLine(f []string) error {
+	t := p.curTerm
+	switch f[0] {
+	case "match":
+		if len(f) < 2 {
+			return p.errf("bare match")
+		}
+		if f[1] != "prefix-list" && len(f) != 3 {
+			return p.errf("match %s wants exactly one argument", f[1])
+		}
+		switch f[1] {
+		case "prefix-list":
+			if len(f) != 3 {
+				return p.errf("match prefix-list wants NAME")
+			}
+			t.Match.PrefixList = &policy.PrefixList{Name: f[2]}
+		case "community":
+			c, err := parseCommunity(f[2])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			t.Match.Community = c
+		case "no-community":
+			c, err := parseCommunity(f[2])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			t.Match.NoCommunity = c
+		case "as-path":
+			as, err := parseU32(f[2])
+			if err != nil {
+				return p.errf("bad as %q", f[2])
+			}
+			t.Match.ASInPath = as
+		case "protocol":
+			proto, err := parseProtocol(f[2])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			t.Match.Protocol = &proto
+		default:
+			return p.errf("unknown match %q", f[1])
+		}
+	case "set":
+		if len(f) < 2 {
+			return p.errf("bare set")
+		}
+		switch f[1] {
+		case "local-preference", "weight", "med":
+			if len(f) != 3 {
+				return p.errf("set %s wants exactly one argument", f[1])
+			}
+		}
+		switch f[1] {
+		case "local-preference":
+			v, err := parseU32(f[2])
+			if err != nil {
+				return p.errf("bad local-preference %q", f[2])
+			}
+			t.Set.LocalPref = &v
+		case "weight":
+			v, err := parseU32(f[2])
+			if err != nil {
+				return p.errf("bad weight %q", f[2])
+			}
+			t.Set.Weight = &v
+		case "med":
+			v, err := parseU32(f[2])
+			if err != nil {
+				return p.errf("bad med %q", f[2])
+			}
+			t.Set.MED = &v
+		case "community":
+			if len(f) < 3 {
+				return p.errf("set community wants add|delete|none")
+			}
+			switch f[2] {
+			case "add":
+				for _, s := range f[3:] {
+					c, err := parseCommunity(s)
+					if err != nil {
+						return p.errf("%v", err)
+					}
+					t.Set.AddComms = append(t.Set.AddComms, c)
+				}
+			case "delete":
+				for _, s := range f[3:] {
+					c, err := parseCommunity(s)
+					if err != nil {
+						return p.errf("%v", err)
+					}
+					t.Set.DelComms = append(t.Set.DelComms, c)
+				}
+			case "none":
+				t.Set.ClearComms = true
+			default:
+				return p.errf("unknown set community mode %q", f[2])
+			}
+		case "as-path":
+			if len(f) < 4 || f[2] != "prepend" {
+				return p.errf("set as-path wants prepend AS...")
+			}
+			for _, s := range f[3:] {
+				as, err := parseU32(s)
+				if err != nil {
+					return p.errf("bad as %q", s)
+				}
+				t.Set.PrependAS = append(t.Set.PrependAS, as)
+			}
+		case "next-hop-self":
+			t.Set.NextHopSelf = true
+		default:
+			return p.errf("unknown set %q", f[1])
+		}
+	default:
+		return p.errf("unknown route-policy line %q", f[0])
+	}
+	return nil
+}
+
+func parseU32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	return uint32(v), err
+}
+
+func parseAction(s string) (policy.Action, error) {
+	switch s {
+	case "permit":
+		return policy.Permit, nil
+	case "deny":
+		return policy.Deny, nil
+	}
+	return 0, fmt.Errorf("bad action %q", s)
+}
+
+func parseAnyPrefix(s string) (netaddr.Prefix, error) {
+	if s == "any" {
+		return netaddr.Prefix{}, nil
+	}
+	return netaddr.Parse(s)
+}
+
+func parseCommunity(s string) (route.Community, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, fmt.Errorf("bad community %q (want AS:VALUE)", s)
+	}
+	as, err1 := strconv.ParseUint(s[:i], 10, 16)
+	val, err2 := strconv.ParseUint(s[i+1:], 10, 16)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("bad community %q", s)
+	}
+	return route.MakeCommunity(uint16(as), uint16(val)), nil
+}
+
+func parseProtocol(s string) (route.Protocol, error) {
+	switch s {
+	case "static":
+		return route.Static, nil
+	case "connected":
+		return route.Connected, nil
+	case "isis":
+		return route.ISIS, nil
+	case "ebgp":
+		return route.EBGP, nil
+	case "ibgp":
+		return route.IBGP, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}

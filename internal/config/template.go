@@ -1,0 +1,192 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Template is a parameterized update recipe — the §9 mechanism: "we have
+// developed many templates for automatically mapping the operator-input
+// incremental command lines to the complete configuration". Operators
+// invoke a template with arguments; expansion produces the update lines
+// that ApplyUpdate merges into the snapshot.
+//
+// Template text format:
+//
+//	template add-peering(peer, as)
+//	 router bgp 64500
+//	  neighbor {peer} remote-as {as}
+//	end
+//
+// Placeholders are {param}; every declared parameter must be used and
+// every use must be declared.
+type Template struct {
+	Name   string
+	Params []string
+	Lines  []string
+}
+
+// ParseTemplates parses a template library from text. Lines outside
+// template/end blocks must be blank or comments (#).
+func ParseTemplates(text string) (map[string]*Template, error) {
+	out := map[string]*Template{}
+	var cur *Template
+	for i, raw := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		line := strings.TrimRight(raw, " \t")
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+			continue
+		case strings.HasPrefix(trimmed, "template "):
+			if cur != nil {
+				return nil, fmt.Errorf("config: line %d: nested template", lineNo)
+			}
+			head := strings.TrimPrefix(trimmed, "template ")
+			open := strings.IndexByte(head, '(')
+			closeIdx := strings.IndexByte(head, ')')
+			if open < 0 || closeIdx < open {
+				return nil, fmt.Errorf("config: line %d: template wants NAME(params...)", lineNo)
+			}
+			name := strings.TrimSpace(head[:open])
+			if name == "" {
+				return nil, fmt.Errorf("config: line %d: empty template name", lineNo)
+			}
+			if _, dup := out[name]; dup {
+				return nil, fmt.Errorf("config: line %d: duplicate template %q", lineNo, name)
+			}
+			cur = &Template{Name: name}
+			for _, p := range strings.Split(head[open+1:closeIdx], ",") {
+				p = strings.TrimSpace(p)
+				if p != "" {
+					cur.Params = append(cur.Params, p)
+				}
+			}
+		case trimmed == "end":
+			if cur == nil {
+				return nil, fmt.Errorf("config: line %d: end outside template", lineNo)
+			}
+			if err := cur.validate(); err != nil {
+				return nil, fmt.Errorf("config: template %s: %w", cur.Name, err)
+			}
+			out[cur.Name] = cur
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("config: line %d: content outside template", lineNo)
+			}
+			// Preserve one level of indentation relative to the template
+			// body so block structure survives expansion.
+			cur.Lines = append(cur.Lines, strings.TrimPrefix(line, " "))
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("config: template %s not terminated with end", cur.Name)
+	}
+	return out, nil
+}
+
+// validate checks that declared parameters and used placeholders agree.
+func (t *Template) validate() error {
+	used := map[string]bool{}
+	for _, l := range t.Lines {
+		rest := l
+		for {
+			open := strings.IndexByte(rest, '{')
+			if open < 0 {
+				break
+			}
+			closeIdx := strings.IndexByte(rest[open:], '}')
+			if closeIdx < 0 {
+				return fmt.Errorf("unterminated placeholder in %q", l)
+			}
+			used[rest[open+1:open+closeIdx]] = true
+			rest = rest[open+closeIdx+1:]
+		}
+	}
+	declared := map[string]bool{}
+	for _, p := range t.Params {
+		declared[p] = true
+		if !used[p] {
+			return fmt.Errorf("parameter %q declared but never used", p)
+		}
+	}
+	for u := range used {
+		if !declared[u] {
+			return fmt.Errorf("placeholder {%s} not declared", u)
+		}
+	}
+	return nil
+}
+
+// Expand instantiates the template into an Update for a device. All
+// parameters must be supplied; extras are an error (operators' typos
+// should fail loudly).
+func (t *Template) Expand(device string, args map[string]string) (Update, error) {
+	for _, p := range t.Params {
+		if _, ok := args[p]; !ok {
+			return Update{}, fmt.Errorf("config: template %s: missing argument %q", t.Name, p)
+		}
+	}
+	for a := range args {
+		found := false
+		for _, p := range t.Params {
+			if p == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Update{}, fmt.Errorf("config: template %s: unknown argument %q", t.Name, a)
+		}
+	}
+	up := Update{Device: device}
+	for _, l := range t.Lines {
+		for _, p := range t.Params {
+			l = strings.ReplaceAll(l, "{"+p+"}", args[p])
+		}
+		up.Lines = append(up.Lines, l)
+	}
+	return up, nil
+}
+
+// BuiltinTemplates returns the update recipes the generator's WANs use
+// daily — the common operations of §3.2 ("applications' footprint
+// expansions", peering changes).
+func BuiltinTemplates(wanAS uint32) map[string]*Template {
+	text := `
+template announce-prefix(prefix)
+ router bgp {as}
+  network {prefix}
+end
+
+template withdraw-prefix(prefix)
+ no network {prefix}
+end
+
+template add-ebgp-peer(peer, peeras)
+ router bgp {as}
+  neighbor {peer} remote-as {peeras}
+end
+
+template remove-peer(peer)
+ no neighbor {peer}
+end
+
+template set-static(prefix, nexthop, pref)
+ ip route {prefix} {nexthop} preference {pref}
+end
+
+template tag-ingress(peer, policy, community)
+ route-policy {policy} permit 10
+  set community add {community}
+ router bgp {as}
+  neighbor {peer} route-policy {policy} in
+end
+`
+	lib, err := ParseTemplates(strings.ReplaceAll(text, "{as}", fmt.Sprint(wanAS)))
+	if err != nil {
+		panic("config: builtin templates: " + err.Error())
+	}
+	return lib
+}

@@ -1,0 +1,101 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTemplates(t *testing.T) {
+	lib, err := ParseTemplates(`
+# comment
+template add-net(prefix)
+ router bgp 100
+  network {prefix}
+end
+
+template drop-peer(peer)
+ no neighbor {peer}
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != 2 {
+		t.Fatalf("templates %v", lib)
+	}
+	tpl := lib["add-net"]
+	if len(tpl.Params) != 1 || tpl.Params[0] != "prefix" || len(tpl.Lines) != 2 {
+		t.Fatalf("template %+v", tpl)
+	}
+}
+
+func TestParseTemplateErrors(t *testing.T) {
+	cases := []string{
+		"template broken\nend",            // no parens
+		"template a()\ntemplate b()\nend", // nested
+		"stray line",                      // content outside
+		"end",                             // end outside
+		"template a(x)\n line without placeholder\nend",      // unused param
+		"template a()\n uses {y}\nend",                       // undeclared placeholder
+		"template a()\n bad {unterminated\nend",              // unterminated
+		"template a(x)\n {x}\nend\ntemplate a(x)\n {x}\nend", // duplicate
+		"template a(x)\n {x}",                                // unterminated template
+	}
+	for _, c := range cases {
+		if _, err := ParseTemplates(c); err == nil {
+			t.Errorf("ParseTemplates(%q) must fail", c)
+		}
+	}
+}
+
+func TestExpandAndApply(t *testing.T) {
+	d := mustParse(t, sampleConfig)
+	lib := BuiltinTemplates(100)
+	tpl := lib["announce-prefix"]
+	up, err := tpl.Expand("r1", map[string]string{"prefix": "99.0.0.0/8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := ApplyUpdate(d, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range nd.BGP.Networks {
+		if n.String() == "99.0.0.0/8" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expanded template must announce the prefix; lines %v", up.Lines)
+	}
+}
+
+func TestExpandArgumentErrors(t *testing.T) {
+	lib := BuiltinTemplates(100)
+	tpl := lib["add-ebgp-peer"]
+	if _, err := tpl.Expand("r1", map[string]string{"peer": "x"}); err == nil {
+		t.Fatal("missing argument must fail")
+	}
+	if _, err := tpl.Expand("r1", map[string]string{"peer": "x", "peeras": "1", "zzz": "1"}); err == nil {
+		t.Fatal("unknown argument must fail")
+	}
+}
+
+func TestBuiltinTemplatesComplete(t *testing.T) {
+	lib := BuiltinTemplates(64500)
+	for _, name := range []string{"announce-prefix", "withdraw-prefix", "add-ebgp-peer", "remove-peer", "set-static", "tag-ingress"} {
+		if lib[name] == nil {
+			t.Fatalf("missing builtin %q", name)
+		}
+	}
+	// The AS is baked in.
+	up, err := lib["add-ebgp-peer"].Expand("r1", map[string]string{"peer": "gw", "peeras": "65001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(up.Lines, "\n")
+	if !strings.Contains(joined, "router bgp 64500") {
+		t.Fatalf("expanded lines %q", joined)
+	}
+}

@@ -1,0 +1,241 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hoyan/internal/netaddr"
+	"hoyan/internal/policy"
+	"hoyan/internal/route"
+)
+
+// Write serializes the device configuration in the canonical dialect
+// Parse accepts, so Parse(Write(d)) round-trips. Output ordering is
+// deterministic.
+func Write(d *Device) string {
+	var b strings.Builder
+	if d.Hostname != "" {
+		fmt.Fprintf(&b, "hostname %s\n", d.Hostname)
+	}
+	if d.Vendor != "" {
+		fmt.Fprintf(&b, "vendor %s\n", d.Vendor)
+	}
+	if d.BGP != nil {
+		writeBGP(&b, d.BGP)
+	}
+	if d.ISIS != nil && d.ISIS.Enabled {
+		writeISIS(&b, d.ISIS)
+	}
+	for _, sr := range d.Statics {
+		if sr.Preference != 0 {
+			fmt.Fprintf(&b, "ip route %s %s preference %d\n", sr.Prefix, sr.NextHop, sr.Preference)
+		} else {
+			fmt.Fprintf(&b, "ip route %s %s\n", sr.Prefix, sr.NextHop)
+		}
+	}
+	for _, name := range sortedKeys(d.PrefixLists) {
+		writePrefixList(&b, d.PrefixLists[name])
+	}
+	for _, name := range sortedKeys(d.RoutePolicies) {
+		writeRoutePolicy(&b, d.RoutePolicies[name])
+	}
+	for _, name := range sortedKeys(d.ACLs) {
+		writeACL(&b, d.ACLs[name])
+	}
+	for _, key := range sortedKeys2(d.InterfaceACLs) {
+		parts := strings.SplitN(key, "/", 2)
+		fmt.Fprintf(&b, "interface %s access-list %s %s\n", parts[0], d.InterfaceACLs[key], parts[1])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeys2(m map[string]string) []string { return sortedKeys(m) }
+
+func writeBGP(b *strings.Builder, cfg *BGP) {
+	fmt.Fprintf(b, "router bgp %d\n", cfg.AS)
+	if cfg.RouterID != 0 {
+		rid := netaddr.Prefix{Addr: cfg.RouterID, Len: 32}
+		fmt.Fprintf(b, "  router-id %s\n", strings.TrimSuffix(rid.String(), "/32"))
+	}
+	if cfg.Preference != 0 {
+		fmt.Fprintf(b, "  preference %d\n", cfg.Preference)
+	}
+	if cfg.LocalAS != 0 {
+		fmt.Fprintf(b, "  local-as %d\n", cfg.LocalAS)
+	}
+	nets := append([]netaddr.Prefix(nil), cfg.Networks...)
+	sort.Slice(nets, func(i, j int) bool {
+		if nets[i].Addr != nets[j].Addr {
+			return nets[i].Addr < nets[j].Addr
+		}
+		return nets[i].Len < nets[j].Len
+	})
+	for _, n := range nets {
+		fmt.Fprintf(b, "  network %s\n", n)
+	}
+	for _, r := range cfg.Redistribute {
+		if r.Policy != "" {
+			fmt.Fprintf(b, "  redistribute %s route-policy %s\n", r.From, r.Policy)
+		} else {
+			fmt.Fprintf(b, "  redistribute %s\n", r.From)
+		}
+	}
+	for _, a := range cfg.Aggregates {
+		parts := make([]string, len(a.Components))
+		for i, c := range a.Components {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(b, "  aggregate-address %s components %s\n", a.Prefix, strings.Join(parts, " "))
+	}
+	neighbors := append([]*Neighbor(nil), cfg.Neighbors...)
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i].PeerName < neighbors[j].PeerName })
+	for _, n := range neighbors {
+		fmt.Fprintf(b, "  neighbor %s remote-as %d\n", n.PeerName, n.RemoteAS)
+		if n.InPolicy != "" {
+			fmt.Fprintf(b, "  neighbor %s route-policy %s in\n", n.PeerName, n.InPolicy)
+		}
+		if n.OutPolicy != "" {
+			fmt.Fprintf(b, "  neighbor %s route-policy %s out\n", n.PeerName, n.OutPolicy)
+		}
+		if n.Preference != 0 {
+			fmt.Fprintf(b, "  neighbor %s preference %d\n", n.PeerName, n.Preference)
+		}
+		if n.NextHopSelf {
+			fmt.Fprintf(b, "  neighbor %s next-hop-self\n", n.PeerName)
+		}
+		if n.RouteReflectorClient {
+			fmt.Fprintf(b, "  neighbor %s route-reflector-client\n", n.PeerName)
+		}
+		if n.RemovePrivateAS {
+			fmt.Fprintf(b, "  neighbor %s remove-private-as\n", n.PeerName)
+		}
+		if n.VPN {
+			fmt.Fprintf(b, "  neighbor %s vpn\n", n.PeerName)
+		}
+		if n.AllowASIn > 0 {
+			fmt.Fprintf(b, "  neighbor %s allowas-in %d\n", n.PeerName, n.AllowASIn)
+		}
+	}
+}
+
+func writeISIS(b *strings.Builder, cfg *ISIS) {
+	b.WriteString("router isis\n")
+	switch cfg.Level {
+	case 12:
+		b.WriteString("  level 12\n")
+	case 1:
+		b.WriteString("  level 1\n")
+	default:
+		b.WriteString("  level 2\n")
+	}
+	if cfg.Penetrate {
+		b.WriteString("  penetrate\n")
+	}
+	for _, peer := range sortedKeysU32(cfg.Metrics) {
+		fmt.Fprintf(b, "  metric %s %d\n", peer, cfg.Metrics[peer])
+	}
+}
+
+func sortedKeysU32(m map[string]uint32) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writePrefixList(b *strings.Builder, pl *policy.PrefixList) {
+	for _, r := range pl.Rules {
+		fmt.Fprintf(b, "ip prefix-list %s %s %s", pl.Name, r.Action, r.Prefix)
+		if r.GE != 0 {
+			fmt.Fprintf(b, " ge %d", r.GE)
+		}
+		if r.LE != 0 {
+			fmt.Fprintf(b, " le %d", r.LE)
+		}
+		b.WriteString("\n")
+	}
+}
+
+func writeRoutePolicy(b *strings.Builder, rp *policy.RoutePolicy) {
+	for _, t := range rp.Terms {
+		fmt.Fprintf(b, "route-policy %s %s %d\n", rp.Name, t.Action, t.Seq)
+		m := t.Match
+		if m.PrefixList != nil {
+			fmt.Fprintf(b, "  match prefix-list %s\n", m.PrefixList.Name)
+		}
+		if m.Community != 0 {
+			fmt.Fprintf(b, "  match community %s\n", m.Community)
+		}
+		if m.NoCommunity != 0 {
+			fmt.Fprintf(b, "  match no-community %s\n", m.NoCommunity)
+		}
+		if m.ASInPath != 0 {
+			fmt.Fprintf(b, "  match as-path %d\n", m.ASInPath)
+		}
+		if m.Protocol != nil {
+			fmt.Fprintf(b, "  match protocol %s\n", *m.Protocol)
+		}
+		s := t.Set
+		if s.LocalPref != nil {
+			fmt.Fprintf(b, "  set local-preference %d\n", *s.LocalPref)
+		}
+		if s.Weight != nil {
+			fmt.Fprintf(b, "  set weight %d\n", *s.Weight)
+		}
+		if s.MED != nil {
+			fmt.Fprintf(b, "  set med %d\n", *s.MED)
+		}
+		if s.ClearComms {
+			b.WriteString("  set community none\n")
+		}
+		if len(s.AddComms) > 0 {
+			b.WriteString("  set community add " + joinComms(s.AddComms) + "\n")
+		}
+		if len(s.DelComms) > 0 {
+			b.WriteString("  set community delete " + joinComms(s.DelComms) + "\n")
+		}
+		if len(s.PrependAS) > 0 {
+			parts := make([]string, len(s.PrependAS))
+			for i, as := range s.PrependAS {
+				parts[i] = fmt.Sprint(as)
+			}
+			b.WriteString("  set as-path prepend " + strings.Join(parts, " ") + "\n")
+		}
+		if s.NextHopSelf {
+			b.WriteString("  set next-hop-self\n")
+		}
+	}
+}
+
+func joinComms(cs []route.Community) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func writeACL(b *strings.Builder, acl *policy.ACL) {
+	for _, r := range acl.Rules {
+		src, dst := "any", "any"
+		if r.Src != (netaddr.Prefix{}) {
+			src = r.Src.String()
+		}
+		if r.Dst != (netaddr.Prefix{}) {
+			dst = r.Dst.String()
+		}
+		fmt.Fprintf(b, "access-list %s %s %s %s\n", acl.Name, r.Action, src, dst)
+	}
+}

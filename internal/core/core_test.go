@@ -1,0 +1,516 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/logic"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/route"
+	"hoyan/internal/topo"
+)
+
+// buildModel assembles a model from per-node config text. Nodes are
+// created in map-insertion order of the names slice; links are [a,b] name
+// pairs added in order so tests can reason about link variables.
+func buildModel(t testing.TB, names []string, ases []uint32, links [][2]string, cfgs map[string]string) *Model {
+	t.Helper()
+	net := topo.NewNetwork()
+	for i, name := range names {
+		net.MustAddNode(topo.Node{Name: name, AS: ases[i], Vendor: behavior.VendorAlpha, Region: "r0"})
+	}
+	for _, l := range links {
+		a, _ := net.NodeByName(l[0])
+		b, _ := net.NodeByName(l[1])
+		net.MustAddLink(a.ID, b.ID, 10)
+	}
+	snap := config.Snapshot{}
+	for name, text := range cfgs {
+		d, err := config.Parse(text)
+		if err != nil {
+			t.Fatalf("config for %s: %v", name, err)
+		}
+		snap[name] = d
+	}
+	m, err := Assemble(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// figure4Model builds the paper's Figure 4 network: A(AS100) announces N =
+// 10.0.0.0/8; links in order L1=A~C, L2=A~B, L3=B~C, L4=C~D so that link
+// variables 0..3 are the paper's a1..a4.
+func figure4Model(t testing.TB) *Model {
+	cfg := func(name string, as uint32, peers map[string]uint32, nets ...string) string {
+		var b strings.Builder
+		b.WriteString("hostname " + name + "\nvendor alpha\nrouter bgp ")
+		b.WriteString(u32s(as) + "\n")
+		for p, pas := range peers {
+			b.WriteString(" neighbor " + p + " remote-as " + u32s(pas) + "\n")
+		}
+		for _, n := range nets {
+			b.WriteString(" network " + n + "\n")
+		}
+		return b.String()
+	}
+	return buildModel(t,
+		[]string{"A", "B", "C", "D"},
+		[]uint32{100, 200, 300, 400},
+		[][2]string{{"A", "C"}, {"A", "B"}, {"B", "C"}, {"C", "D"}},
+		map[string]string{
+			"A": cfg("A", 100, map[string]uint32{"B": 200, "C": 300}, "10.0.0.0/8"),
+			"B": cfg("B", 200, map[string]uint32{"A": 100, "C": 300}),
+			"C": cfg("C", 300, map[string]uint32{"A": 100, "B": 200, "D": 400}),
+			"D": cfg("D", 400, map[string]uint32{"C": 300}),
+		})
+}
+
+func u32s(v uint32) string {
+	return strings.TrimLeft(strings.Map(func(r rune) rune { return r }, fmtUint(v)), "")
+}
+
+func fmtUint(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func mustRun(t testing.TB, s *Simulator, p string) *Result {
+	t.Helper()
+	res, err := s.Run(netaddr.MustParse(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func nodeID(t testing.TB, m *Model, name string) topo.NodeID {
+	t.Helper()
+	id, ok := m.Resolve(name)
+	if !ok {
+		t.Fatalf("no node %q", name)
+	}
+	return id
+}
+
+// TestFigure4EndToEnd verifies the worked example of §5.2 exactly: C's and
+// D's RIB conditions and the minimal failure breaking A→D reachability.
+func TestFigure4EndToEnd(t *testing.T) {
+	m := figure4Model(t)
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "10.0.0.0/8")
+	f := s.F
+	a1, a2, a3, a4 := f.Var(0), f.Var(1), f.Var(2), f.Var(3)
+
+	c := nodeID(t, m, "C")
+	d := nodeID(t, m, "D")
+	n := netaddr.MustParse("10.0.0.0/8")
+
+	// C's RIB: r1=(N,100,A,a1) ranked above r2=(N,100-200,B,a2∧a3).
+	centries := res.EntriesFor(c, n)
+	if len(centries) != 2 {
+		t.Fatalf("C has %d entries, want 2: %+v", len(centries), centries)
+	}
+	if centries[0].Route.ASPathString() != "100" || !f.Equivalent(centries[0].Cond, a1) {
+		t.Fatalf("C r1 = %v cond %s", centries[0].Route, f.String(centries[0].Cond))
+	}
+	// Paths are stored in BGP transmission order (nearest AS first);
+	// the paper renders origin-first ("100-200" there is "200-100" here).
+	if centries[1].Route.ASPathString() != "200-100" || !f.Equivalent(centries[1].Cond, f.And(a2, a3)) {
+		t.Fatalf("C r2 = %v cond %s", centries[1].Route, f.String(centries[1].Cond))
+	}
+
+	// D's RIB: r3=(N,100-300,C,a1∧a4), r4=(N,100-200-300,C,¬a1∧a2∧a3∧a4).
+	dentries := res.EntriesFor(d, n)
+	if len(dentries) != 2 {
+		t.Fatalf("D has %d entries, want 2: %+v", len(dentries), dentries)
+	}
+	if dentries[0].Route.ASPathString() != "300-100" ||
+		!f.Equivalent(dentries[0].Cond, f.And(a1, a4)) {
+		t.Fatalf("D r3 = %v cond %s", dentries[0].Route, f.String(dentries[0].Cond))
+	}
+	if dentries[1].Route.ASPathString() != "300-200-100" ||
+		!f.Equivalent(dentries[1].Cond, f.AndAll(f.Not(a1), a2, a3, a4)) {
+		t.Fatalf("D r4 = %v cond %s", dentries[1].Route, f.String(dentries[1].Cond))
+	}
+
+	// V = (a1∧a4) ∨ (¬a1∧a2∧a3∧a4); failing link 4 breaks it.
+	min, _ := res.MinFailuresToLose(d, AnyRouteTo(n))
+	if min != 1 {
+		t.Fatalf("min failures to lose D's reachability = %d, want 1", min)
+	}
+	fs, ok := res.WitnessFailure(d, AnyRouteTo(n))
+	if !ok || len(fs) != 1 || fs[0] != 3 {
+		t.Fatalf("witness = %v, want [L4]", fs)
+	}
+	if res.KTolerant(d, AnyRouteTo(n), 1) {
+		t.Fatal("D is not 1-failure tolerant")
+	}
+	if !res.KTolerant(d, AnyRouteTo(n), 0) {
+		t.Fatal("D is 0-failure tolerant (reachable when all up)")
+	}
+	// C survives one failure (two disjoint-ish paths), dies with 2 (L1+L2
+	// or L1+L3).
+	minC, _ := res.MinFailuresToLose(c, AnyRouteTo(n))
+	if minC != 2 {
+		t.Fatalf("C min failures = %d, want 2", minC)
+	}
+}
+
+func TestBestUnderFailure(t *testing.T) {
+	m := figure4Model(t)
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "10.0.0.0/8")
+	c := nodeID(t, m, "C")
+	n := netaddr.MustParse("10.0.0.0/8")
+
+	best, ok := res.BestUnder(c, n, nil)
+	if !ok || best.ASPathString() != "100" {
+		t.Fatalf("all-up best at C = %v", best)
+	}
+	// Fail L1 (var 0): C falls back to the B path.
+	asn := logic.Assignment{0: false}
+	best, ok = res.BestUnder(c, n, asn)
+	if !ok || best.ASPathString() != "200-100" {
+		t.Fatalf("post-failure best at C = %v ok=%v", best, ok)
+	}
+	// Fail L1+L3: C loses the route.
+	if _, ok := res.BestUnder(c, n, logic.Assignment{0: false, 2: false}); ok {
+		t.Fatal("C must lose the route under L1+L3 failure")
+	}
+}
+
+func TestPruneStatsAccounting(t *testing.T) {
+	m := figure4Model(t)
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "10.0.0.0/8")
+	st := res.Stats
+	if st.Branches == 0 || st.Delivered == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.Branches != st.DroppedPolicy+st.DroppedOverK+st.DroppedImpossible+st.Delivered {
+		t.Fatalf("branch accounting broken: %+v", st)
+	}
+	if st.MaxCondLen == 0 {
+		t.Fatal("condition length must be tracked")
+	}
+}
+
+// TestImpossiblePruneFires builds the Figure 5 shape where C would
+// re-announce A's route back toward D under a contradictory condition.
+func TestImpossiblePruneFires(t *testing.T) {
+	m := figure4Model(t)
+	opts := DefaultOptions()
+	res := mustRun(t, NewSimulator(m, opts), "10.0.0.0/8")
+	if res.Stats.DroppedImpossible == 0 {
+		t.Fatalf("expected impossible-condition prunes, stats %+v", res.Stats)
+	}
+}
+
+func TestKZeroPrunesAlternates(t *testing.T) {
+	m := figure4Model(t)
+	opts := DefaultOptions()
+	opts.K = 0
+	s := NewSimulator(m, opts)
+	res := mustRun(t, s, "10.0.0.0/8")
+	d := nodeID(t, m, "D")
+	n := netaddr.MustParse("10.0.0.0/8")
+	// With k=0 the ¬a1∧… alternative needs a failure, so it is pruned.
+	entries := res.EntriesFor(d, n)
+	if len(entries) != 1 {
+		t.Fatalf("k=0 must keep only the primary path, got %+v", entries)
+	}
+	if res.Stats.DroppedOverK == 0 {
+		t.Fatal("over-k prune must fire at k=0")
+	}
+}
+
+// TestStaticVsEBGPPreference reproduces the §7.1 outage shape: a static
+// route with preference 1 beats eBGP preference 30; flipping the static to
+// 150 hands the prefix to eBGP.
+func TestStaticVsEBGPPreference(t *testing.T) {
+	mk := func(staticPref string) *Model {
+		return buildModel(t,
+			[]string{"pe", "ext", "core"},
+			[]uint32{100, 65100, 100},
+			[][2]string{{"pe", "ext"}, {"pe", "core"}},
+			map[string]string{
+				"pe": "hostname pe\nvendor alpha\nrouter bgp 100\n neighbor ext remote-as 65100\n neighbor ext preference 30\n" +
+					"ip route 10.9.0.0/16 core preference " + staticPref + "\n",
+				"ext":  "hostname ext\nvendor alpha\nrouter bgp 65100\n neighbor pe remote-as 100\n network 10.9.0.0/16\n",
+				"core": "hostname core\nvendor alpha\n",
+			})
+	}
+	n := netaddr.MustParse("10.9.0.0/16")
+
+	m := mk("1")
+	res := mustRun(t, NewSimulator(m, DefaultOptions()), "10.9.0.0/16")
+	pe := nodeID(t, m, "pe")
+	best, ok := res.BestUnder(pe, n, nil)
+	if !ok || best.Protocol != route.Static {
+		t.Fatalf("pref 1 static must win, got %v", best)
+	}
+
+	m2 := mk("150")
+	res2 := mustRun(t, NewSimulator(m2, DefaultOptions()), "10.9.0.0/16")
+	pe2 := nodeID(t, m2, "pe")
+	best2, ok := res2.BestUnder(pe2, n, nil)
+	if !ok || best2.Protocol != route.EBGP {
+		t.Fatalf("pref 150 static must lose to eBGP pref 30, got %v", best2)
+	}
+}
+
+// TestAggregation reproduces the §5.3 example: two /32 components
+// aggregate to a /31 with condition I1∧I2 and exclusive component rules.
+func TestAggregation(t *testing.T) {
+	m := buildModel(t,
+		[]string{"g1", "g2", "agg", "dst"},
+		[]uint32{101, 102, 200, 300},
+		[][2]string{{"g1", "agg"}, {"g2", "agg"}, {"agg", "dst"}},
+		map[string]string{
+			"g1":  "hostname g1\nvendor alpha\nrouter bgp 101\n neighbor agg remote-as 200\n network 10.0.1.0/32\n",
+			"g2":  "hostname g2\nvendor alpha\nrouter bgp 102\n neighbor agg remote-as 200\n network 10.0.1.1/32\n",
+			"agg": "hostname agg\nvendor alpha\nrouter bgp 200\n neighbor g1 remote-as 101\n neighbor g2 remote-as 102\n neighbor dst remote-as 300\n aggregate-address 10.0.1.0/31 components 10.0.1.0/32 10.0.1.1/32\n",
+			"dst": "hostname dst\nvendor alpha\nrouter bgp 300\n neighbor agg remote-as 200\n",
+		})
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "10.0.1.0/32")
+	f := s.F
+	if len(res.Prefixes) != 3 {
+		t.Fatalf("family must include both components and the aggregate: %v", res.Prefixes)
+	}
+	aggNode := nodeID(t, m, "agg")
+	dst := nodeID(t, m, "dst")
+	i1, i2 := f.Var(0), f.Var(1) // links g1~agg, g2~agg
+
+	aggEntries := res.EntriesFor(aggNode, netaddr.MustParse("10.0.1.0/31"))
+	if len(aggEntries) != 1 || !f.Equivalent(aggEntries[0].Cond, f.And(i1, i2)) {
+		t.Fatalf("aggregate entry %+v", aggEntries)
+	}
+	// Component rules at agg are suppressed while the aggregate is active.
+	c1 := res.EntriesFor(aggNode, netaddr.MustParse("10.0.1.0/32"))
+	if len(c1) != 1 || !f.Equivalent(c1[0].Cond, f.And(i1, f.Not(f.And(i1, i2)))) {
+		t.Fatalf("component rule %+v cond %s", c1, f.String(c1[0].Cond))
+	}
+	// dst receives the aggregate when both components are up.
+	if !res.Reachable(dst, AnyRouteTo(netaddr.MustParse("10.0.1.0/32"))) {
+		t.Fatal("dst must reach 10.0.1.0/32 via the aggregate")
+	}
+	aggAtDst := res.EntriesFor(dst, netaddr.MustParse("10.0.1.0/31"))
+	if len(aggAtDst) == 0 {
+		t.Fatal("aggregate must propagate to dst")
+	}
+}
+
+// TestIBGPOverISIS builds an AS with three routers chained by IS-IS where
+// the edge router learns an external route over eBGP and distributes it
+// over iBGP; the far router's reachability must inherit the IS-IS session
+// condition.
+func TestIBGPOverISIS(t *testing.T) {
+	isis := "router isis\n level 2\n"
+	m := buildModel(t,
+		[]string{"ext", "edge", "mid", "far"},
+		[]uint32{65100, 100, 100, 100},
+		[][2]string{{"ext", "edge"}, {"edge", "mid"}, {"mid", "far"}},
+		map[string]string{
+			"ext":  "hostname ext\nvendor alpha\nrouter bgp 65100\n neighbor edge remote-as 100\n network 77.0.0.0/8\n",
+			"edge": "hostname edge\nvendor alpha\nrouter bgp 100\n neighbor ext remote-as 65100\n neighbor far remote-as 100\n neighbor far next-hop-self\n" + isis,
+			"mid":  "hostname mid\nvendor alpha\n" + isis,
+			"far":  "hostname far\nvendor alpha\nrouter bgp 100\n neighbor edge remote-as 100\n" + isis,
+		})
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "77.0.0.0/8")
+	f := s.F
+	far := nodeID(t, m, "far")
+	n := netaddr.MustParse("77.0.0.0/8")
+
+	entries := res.EntriesFor(far, n)
+	if len(entries) != 1 {
+		t.Fatalf("far entries %+v", entries)
+	}
+	e := entries[0]
+	if e.Route.Protocol != route.IBGP {
+		t.Fatalf("far learns over iBGP, got %v", e.Route.Protocol)
+	}
+	if e.Route.NextHop != nodeID(t, m, "edge") {
+		t.Fatal("next-hop-self must set edge as next hop")
+	}
+	// Condition = ext~edge link ∧ iBGP session cond = chain of both IS-IS
+	// links; breaking any of the three links kills it.
+	a0, a1, a2 := f.Var(0), f.Var(1), f.Var(2)
+	if !f.Equivalent(e.Cond, f.AndAll(a0, a1, a2)) {
+		t.Fatalf("far cond %s", f.String(e.Cond))
+	}
+	min, _ := res.MinFailuresToLose(far, AnyRouteTo(n))
+	if min != 1 {
+		t.Fatalf("min failures = %d", min)
+	}
+}
+
+// TestIBGPWithoutISISUsesDirectLink covers small lab topologies: same-AS
+// neighbors with a direct link but no IGP still form a session over it.
+func TestIBGPWithoutISISUsesDirectLink(t *testing.T) {
+	m := buildModel(t,
+		[]string{"x", "y", "ext"},
+		[]uint32{100, 100, 65000},
+		[][2]string{{"x", "y"}, {"ext", "x"}},
+		map[string]string{
+			"x":   "hostname x\nvendor alpha\nrouter bgp 100\n neighbor y remote-as 100\n neighbor ext remote-as 65000\n",
+			"y":   "hostname y\nvendor alpha\nrouter bgp 100\n neighbor x remote-as 100\n",
+			"ext": "hostname ext\nvendor alpha\nrouter bgp 65000\n neighbor x remote-as 100\n network 88.0.0.0/8\n",
+		})
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "88.0.0.0/8")
+	y := nodeID(t, m, "y")
+	if !res.Reachable(y, AnyRouteTo(netaddr.MustParse("88.0.0.0/8"))) {
+		t.Fatal("y must learn the route over direct iBGP")
+	}
+}
+
+// TestEgressPolicyBlocksPropagation: a deny-all egress policy on C toward
+// D stops the route, and the drop is accounted as a policy prune.
+func TestEgressPolicyBlocksPropagation(t *testing.T) {
+	m := figure4Model(t)
+	cfgC := m.Configs[nodeID(t, m, "C")]
+	text := config.Write(cfgC) + "\nroute-policy BLOCK deny 10\n"
+	nd, err := config.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.BGP.Neighbor("D").OutPolicy = "BLOCK"
+	m.Configs[nodeID(t, m, "C")] = nd
+	m.Devices[nodeID(t, m, "C")].Cfg = nd
+
+	s := NewSimulator(m, DefaultOptions())
+	res := mustRun(t, s, "10.0.0.0/8")
+	d := nodeID(t, m, "D")
+	if res.Reachable(d, AnyRouteTo(netaddr.MustParse("10.0.0.0/8"))) {
+		t.Fatal("egress deny must stop the route")
+	}
+	if res.Stats.DroppedPolicy == 0 {
+		t.Fatal("policy drops must be counted")
+	}
+}
+
+// TestVendorDefaultPolicyChangesOutcome: the same unmatched ingress policy
+// denies on alpha but permits on beta — the network-visible effect of the
+// default-route-policy VSB.
+func TestVendorDefaultPolicyChangesOutcome(t *testing.T) {
+	mk := func(vendor string) *Model {
+		return buildModel(t,
+			[]string{"src", "dst"},
+			[]uint32{100, 200},
+			[][2]string{{"src", "dst"}},
+			map[string]string{
+				"src": "hostname src\nvendor alpha\nrouter bgp 100\n neighbor dst remote-as 200\n network 10.0.0.0/8\n",
+				"dst": "hostname dst\nvendor " + vendor + "\nrouter bgp 200\n neighbor src remote-as 100\n neighbor src route-policy P in\n" +
+					"route-policy P permit 10\n match community 9:9\n",
+			})
+	}
+	n := netaddr.MustParse("10.0.0.0/8")
+	resA := mustRun(t, NewSimulator(mk("alpha"), DefaultOptions()), "10.0.0.0/8")
+	if resA.Reachable(1, AnyRouteTo(n)) {
+		t.Fatal("alpha default-deny must block")
+	}
+	resB := mustRun(t, NewSimulator(mk("beta"), DefaultOptions()), "10.0.0.0/8")
+	if !resB.Reachable(1, AnyRouteTo(n)) {
+		t.Fatal("beta default-permit must pass")
+	}
+}
+
+func TestRoleEquivalence(t *testing.T) {
+	// Two PEs peered to the same announcer must be equivalent; adding an
+	// extra local-pref policy on one breaks it.
+	mk := func(extra string) *Model {
+		return buildModel(t,
+			[]string{"src", "pe1", "pe2"},
+			[]uint32{65000, 100, 200},
+			[][2]string{{"src", "pe1"}, {"src", "pe2"}},
+			map[string]string{
+				"src": "hostname src\nvendor alpha\nrouter bgp 65000\n neighbor pe1 remote-as 100\n neighbor pe2 remote-as 200\n network 10.0.0.0/8\n",
+				"pe1": "hostname pe1\nvendor alpha\nrouter bgp 100\n neighbor src remote-as 65000\n",
+				"pe2": "hostname pe2\nvendor alpha\nrouter bgp 200\n neighbor src remote-as 65000\n" + extra,
+			})
+	}
+	m := mk("")
+	res := mustRun(t, NewSimulator(m, DefaultOptions()), "10.0.0.0/8")
+	if diffs := res.EquivalentRoles(1, 2); len(diffs) != 0 {
+		t.Fatalf("equivalent roles expected, got %v", diffs)
+	}
+	m2 := mk(" neighbor src route-policy UP in\nroute-policy UP permit 10\n set local-preference 300\n")
+	res2 := mustRun(t, NewSimulator(m2, DefaultOptions()), "10.0.0.0/8")
+	diffs := res2.EquivalentRoles(1, 2)
+	if len(diffs) != 1 || diffs[0].Field != "local-pref" {
+		t.Fatalf("expected local-pref divergence, got %v", diffs)
+	}
+}
+
+func TestAnnouncersAndPrefixList(t *testing.T) {
+	m := figure4Model(t)
+	anns := m.AnnouncersOf(netaddr.MustParse("10.0.0.0/8"))
+	if len(anns) != 1 || anns[0] != nodeID(t, m, "A") {
+		t.Fatalf("announcers %v", anns)
+	}
+	ps := m.AnnouncedPrefixes()
+	if len(ps) != 1 || ps[0] != netaddr.MustParse("10.0.0.0/8") {
+		t.Fatalf("prefixes %v", ps)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	net := topo.NewNetwork()
+	net.MustAddNode(topo.Node{Name: "a"})
+	if _, err := Assemble(net, config.Snapshot{}, behavior.TrueProfiles()); err == nil {
+		t.Fatal("missing config must fail")
+	}
+	d, _ := config.Parse("hostname wrong\n")
+	if _, err := Assemble(net, config.Snapshot{"a": d}, behavior.TrueProfiles()); err == nil {
+		t.Fatal("hostname mismatch must fail")
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	r := route.Route{Prefix: netaddr.MustParse("10.0.0.0/8"), ASPath: []uint32{1, 2}, NextHop: 5, Protocol: route.EBGP}
+	if !AnyRouteTo(netaddr.MustParse("10.1.0.0/16")).Matches(r) {
+		t.Fatal("cover match")
+	}
+	if AnyRouteTo(netaddr.MustParse("11.0.0.0/8")).Matches(r) {
+		t.Fatal("non-covering")
+	}
+	if !ExactRoute(r.Prefix, []uint32{1, 2}, 5).Matches(r) {
+		t.Fatal("exact match")
+	}
+	if ExactRoute(r.Prefix, []uint32{1}, 5).Matches(r) {
+		t.Fatal("path mismatch")
+	}
+	if ExactRoute(r.Prefix, []uint32{1, 2}, 6).Matches(r) {
+		t.Fatal("nexthop mismatch")
+	}
+	if (Pattern{Prefix: r.Prefix, Protocols: []route.Protocol{route.Static}}).Matches(r) {
+		t.Fatal("protocol mismatch")
+	}
+}
+
+func BenchmarkFigure4Simulation(b *testing.B) {
+	m := figure4Model(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSimulator(m, DefaultOptions())
+		if _, err := s.Run(netaddr.MustParse("10.0.0.0/8")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/igp"
+	"hoyan/internal/logic"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/route"
+	"hoyan/internal/topo"
+)
+
+// Options tunes one simulation (§5.6 optimizations are individually
+// switchable for the ablation benches).
+type Options struct {
+	// K is the failure budget: reachability is asked "under up to K link
+	// failures" and conditions needing more than K failures are pruned.
+	K int
+	// PruneOverK enables dropping more-than-K-failure conditions.
+	PruneOverK bool
+	// PruneImpossible enables dropping always-false conditions.
+	PruneImpossible bool
+	// Simplify enables condition formula simplification.
+	Simplify bool
+	// SimplifyThreshold is the formula length above which simplification
+	// is attempted.
+	SimplifyThreshold int
+	// MaxAlternatives caps the per-session alternative count.
+	MaxAlternatives int
+	// MaxSteps bounds worklist processing; 0 derives a generous bound
+	// from the network size.
+	MaxSteps int
+	// DampAfter freezes a session's contribution after this many changes
+	// (0 = default 64). Only order-dependent (racing) configurations ever
+	// reach the threshold.
+	DampAfter int
+}
+
+// DefaultOptions is the paper's operating point.
+func DefaultOptions() Options {
+	return Options{
+		K:                 3,
+		PruneOverK:        true,
+		PruneImpossible:   true,
+		Simplify:          true,
+		SimplifyThreshold: 24,
+		MaxAlternatives:   8,
+	}
+}
+
+// Stats counts propagation work, feeding Figures 8, 11 and 12.
+type Stats struct {
+	// Branches is the number of candidate route-update announcements
+	// considered (the denominator of Figure 12).
+	Branches int
+	// DroppedPolicy counts branches cut by ingress/egress policies or
+	// split-horizon.
+	DroppedPolicy int
+	// DroppedOverK counts branches cut by the >K-failures prune.
+	DroppedOverK int
+	// DroppedImpossible counts branches cut as always-false.
+	DroppedImpossible int
+	// Delivered counts branches that produced a RIB contribution
+	// ("Remain" in Figure 12).
+	Delivered int
+	// FrozenSessions counts sessions whose contribution was frozen by
+	// oscillation damping: a genuinely order-dependent configuration (a
+	// BGP dispute wheel, the racing class of bugs) has no unique
+	// fixpoint, so after a session's contribution churns more than the
+	// damping threshold the engine keeps its current value and converges
+	// to ONE stable state — mirroring what a real network does. Racing
+	// detection (package racing) is the mechanism that reports the
+	// ambiguity itself.
+	FrozenSessions int
+	// MaxCondLen is the longest topology-condition formula seen during
+	// propagation (Figure 11).
+	MaxCondLen int
+	// Steps is the number of worklist node-processings.
+	Steps int
+}
+
+func (s *Stats) observeCondLen(n int) {
+	if n > s.MaxCondLen {
+		s.MaxCondLen = n
+	}
+}
+
+// Entry is one RIB rule: a route valid under a topology condition.
+type Entry struct {
+	Route route.Route
+	Cond  logic.F
+}
+
+// session is one directed BGP session with its establishment condition.
+type session struct {
+	from, to topo.NodeID
+	cond     logic.F
+	ibgp     bool
+}
+
+// Simulator owns the shared per-shard state: one formula factory, one IGP
+// engine, and the session table. Prefix simulations run sequentially on a
+// Simulator; run several Simulators over prefix shards for parallelism
+// (the paper uses 50 worker threads the same way).
+type Simulator struct {
+	M    *Model
+	F    *logic.Factory
+	IGP  *igp.Engine
+	Opts Options
+
+	sessions   []session
+	sessionsBy [][]int // outgoing session indices per node
+	igpLazy    map[int]bool
+}
+
+// NewSimulator prepares the session table. iBGP session conditions are
+// computed lazily on first use (they require IGP propagation).
+func NewSimulator(m *Model, opts Options) *Simulator {
+	if opts.MaxAlternatives == 0 {
+		opts.MaxAlternatives = 8
+	}
+	if opts.SimplifyThreshold == 0 {
+		opts.SimplifyThreshold = 24
+	}
+	s := &Simulator{
+		M:          m,
+		F:          logic.NewFactory(),
+		Opts:       opts,
+		sessionsBy: make([][]int, m.Net.NumNodes()),
+		igpLazy:    map[int]bool{},
+	}
+	s.IGP = igp.New(m.Net, m.Configs, s.F, igpOptions(opts))
+	for _, node := range m.Net.Nodes() {
+		dev := m.Devices[node.ID]
+		if dev.Cfg.BGP == nil {
+			continue
+		}
+		for _, n := range dev.Cfg.BGP.Neighbors {
+			peer, ok := m.Resolve(n.PeerName)
+			if !ok {
+				continue
+			}
+			peerDev := m.Devices[peer]
+			// The session requires both ends configured.
+			if _, ok := peerDev.Neighbor(node.Name); !ok {
+				continue
+			}
+			idx := len(s.sessions)
+			se := session{from: node.ID, to: peer, ibgp: dev.SessionTypeTo(peerDev) == behavior.SessIBGP}
+			se.cond = s.directCond(node.ID, peer)
+			if se.ibgp && s.bothISIS(node.ID, peer) {
+				// Placeholder; resolved lazily from the IGP.
+				se.cond = logic.False
+				s.igpLazy[idx] = true
+			}
+			s.sessions = append(s.sessions, se)
+			s.sessionsBy[node.ID] = append(s.sessionsBy[node.ID], idx)
+		}
+	}
+	return s
+}
+
+// directCond returns the condition of a single-hop session: any parallel
+// link up. False when the nodes are not adjacent.
+func (s *Simulator) directCond(a, b topo.NodeID) logic.F {
+	cond := logic.False
+	for _, ad := range s.M.Net.Neighbors(a) {
+		if ad.Peer == b {
+			cond = s.F.Or(cond, s.F.Var(s.M.Net.AliveVar(ad.Link)))
+		}
+	}
+	return cond
+}
+
+func (s *Simulator) bothISIS(a, b topo.NodeID) bool {
+	ca, cb := s.M.Configs[a], s.M.Configs[b]
+	return ca.ISIS != nil && ca.ISIS.Enabled && cb.ISIS != nil && cb.ISIS.Enabled
+}
+
+// sessionCond resolves (and caches) a session's establishment condition.
+func (s *Simulator) sessionCond(idx int) logic.F {
+	if s.igpLazy[idx] {
+		se := &s.sessions[idx]
+		se.cond = s.IGP.SessionCond(se.from, se.to)
+		delete(s.igpLazy, idx)
+	}
+	return s.sessions[idx].cond
+}
+
+// Result is the converged state of one prefix-family simulation.
+type Result struct {
+	Sim      *Simulator
+	Prefixes []netaddr.Prefix
+	Stats    Stats
+	// ribs[node] is the converged RIB (BGP + static + aggregate entries),
+	// ranked by the FIB order (admin preference first).
+	ribs [][]Entry
+	// sessionMsgs[i] holds the final updates of session i.
+	sessionMsgs [][]Entry
+}
+
+// Run simulates the propagation of the prefix's family (§5.4 Algorithm 1)
+// and returns the converged RIBs with topology conditions.
+func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
+	family := s.M.PrefixFamily(prefix)
+	inFamily := map[netaddr.Prefix]bool{}
+	for _, p := range family {
+		inFamily[p] = true
+	}
+	// Longest-prefix matching makes any overlapping route relevant to the
+	// data plane (a more-specific static can capture part of the range),
+	// so overlapping origins join the simulation too.
+	overlapsFamily := func(q netaddr.Prefix) bool {
+		if inFamily[q] {
+			return true
+		}
+		for _, p := range family {
+			if p.Overlaps(q) {
+				return true
+			}
+		}
+		return false
+	}
+	n := s.M.Net.NumNodes()
+	res := &Result{Sim: s, Prefixes: family, ribs: make([][]Entry, n)}
+
+	// Locally originated entries per node: BGP network statements,
+	// redistributed statics (as BGP), and raw statics (RIB/FIB only).
+	locals := make([][]Entry, n)
+	statics := make([][]Entry, n)
+	resolve := s.M.resolveFn()
+	for id := 0; id < n; id++ {
+		dev := s.M.Devices[id]
+		for _, r := range dev.OriginatedBGP(resolve) {
+			if overlapsFamily(r.Prefix) {
+				locals[id] = append(locals[id], Entry{Route: r, Cond: logic.True})
+			}
+		}
+		for _, sr := range dev.Cfg.Statics {
+			if !overlapsFamily(sr.Prefix) {
+				continue
+			}
+			r := route.New(sr.Prefix, route.Static, topo.NodeID(id))
+			r.AdminPref = behavior.StaticPreference(sr)
+			cond := logic.True
+			if nh, ok := resolve(sr.NextHop); ok {
+				r.NextHop = nh
+				// A static stays active while some link toward its
+				// next hop is up.
+				if c := s.directCond(topo.NodeID(id), nh); c != logic.False {
+					cond = c
+				}
+			}
+			statics[id] = append(statics[id], Entry{Route: r, Cond: cond})
+		}
+	}
+
+	// contrib[node][session] = entries delivered over that session
+	// (post-ingress view); wire[session] = the same updates as sent on the
+	// wire (post-egress, pre-ingress) for BMP-style update logs.
+	contrib := make([]map[int][]Entry, n)
+	for i := range contrib {
+		contrib[i] = map[int][]Entry{}
+	}
+	wire := make([][]Entry, len(s.sessions))
+
+	// bgpRIB assembles node u's ranked BGP entries per prefix:
+	// local BGP entries plus session contributions, plus aggregates.
+	bgpRIB := func(u int) map[netaddr.Prefix][]Entry {
+		byPrefix := map[netaddr.Prefix][]Entry{}
+		add := func(e Entry) { byPrefix[e.Route.Prefix] = append(byPrefix[e.Route.Prefix], e) }
+		for _, e := range locals[u] {
+			add(e)
+		}
+		for _, es := range contrib[u] {
+			for _, e := range es {
+				add(e)
+			}
+		}
+		s.applyAggregates(u, byPrefix, inFamily)
+		for p := range byPrefix {
+			s.rank(byPrefix[p], u)
+		}
+		return byPrefix
+	}
+
+	queue := []int{}
+	inQueue := make([]bool, n)
+	for id := 0; id < n; id++ {
+		if len(locals[id]) > 0 {
+			queue = append(queue, id)
+			inQueue[id] = true
+		}
+	}
+	maxSteps := s.Opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 64 * n * (len(s.sessions) + 1)
+	}
+	dampAfter := s.Opts.DampAfter
+	if dampAfter == 0 {
+		dampAfter = 64
+	}
+	changes := make([]int, len(s.sessions))
+	for len(queue) > 0 {
+		if res.Stats.Steps >= maxSteps {
+			return nil, fmt.Errorf("core: propagation for %s exceeded %d steps (divergent policy interaction?)", prefix, maxSteps)
+		}
+		res.Stats.Steps++
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		rib := bgpRIB(u)
+		for _, si := range s.sessionsBy[u] {
+			if changes[si] > dampAfter {
+				continue // oscillation damping (see Stats.FrozenSessions)
+			}
+			se := s.sessions[si]
+			out, _ := s.announce(rib, se, si, &res.Stats)
+			if !s.entriesEqual(contrib[se.to][si], out) {
+				changes[si]++
+				if changes[si] > dampAfter {
+					res.Stats.FrozenSessions++
+					continue
+				}
+				contrib[se.to][si] = out
+				if !inQueue[se.to] {
+					inQueue[se.to] = true
+					queue = append(queue, int(se.to))
+				}
+			}
+		}
+	}
+
+	// Final RIBs: BGP entries (incl. aggregates) + statics, FIB-ranked.
+	for id := 0; id < n; id++ {
+		var all []Entry
+		for _, es := range bgpRIB(id) {
+			all = append(all, es...)
+		}
+		all = append(all, statics[id]...)
+		s.rank(all, id)
+		res.ribs[id] = all
+	}
+	// Recompute the final per-session wire updates (post-egress, pre-
+	// ingress) from the converged RIBs: the tuner compares these against
+	// BMP-style update logs to find latent VSBs (Figure 6's R2, whose RIB
+	// matches but whose updates differ). This runs after convergence so
+	// updates the receiver drops are still logged.
+	var scratch Stats
+	for u := 0; u < n; u++ {
+		rib := bgpRIB(u)
+		for _, si := range s.sessionsBy[u] {
+			_, sent := s.announce(rib, s.sessions[si], si, &scratch)
+			wire[si] = sent
+		}
+	}
+	res.sessionMsgs = wire
+	return res, nil
+}
+
+// SessionUpdates returns the converged route updates sent over the
+// session from→to as they appear on the wire (after the sender's egress
+// pipeline, before the receiver's ingress pipeline — the BMP vantage
+// point), and whether such a session exists.
+func (r *Result) SessionUpdates(from, to topo.NodeID) ([]Entry, bool) {
+	found := false
+	var out []Entry
+	for si, se := range r.Sim.sessions {
+		if se.from == from && se.to == to {
+			found = true
+			out = append(out, r.sessionMsgs[si]...)
+		}
+	}
+	return out, found
+}
+
+// announce computes the contribution of one session from the sender's
+// ranked per-prefix RIB: exclusive guards, egress pipeline, pruning,
+// receiver ingress pipeline. It returns the delivered (post-ingress)
+// entries and the wire-view (post-egress) updates.
+func (s *Simulator) announce(rib map[netaddr.Prefix][]Entry, se session, si int, stats *Stats) (out, sent []Entry) {
+	devU := s.M.Devices[se.from]
+	devV := s.M.Devices[se.to]
+	sessCond := s.sessionCond(si)
+	if sessCond == logic.False {
+		return nil, nil
+	}
+	prefixes := make([]netaddr.Prefix, 0, len(rib))
+	for p := range rib {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr != prefixes[j].Addr {
+			return prefixes[i].Addr < prefixes[j].Addr
+		}
+		return prefixes[i].Len < prefixes[j].Len
+	})
+	for _, p := range prefixes {
+		notHigher := logic.True
+		kept := 0
+		for _, ent := range rib[p] {
+			if ent.Route.Protocol != route.EBGP && ent.Route.Protocol != route.IBGP {
+				continue // statics don't advertise unless redistributed
+			}
+			if kept >= s.Opts.MaxAlternatives {
+				break
+			}
+			stats.Branches++
+			guard := s.F.And(notHigher, ent.Cond)
+			notHigher = s.F.And(notHigher, s.F.Not(ent.Cond))
+			eg := devU.ProcessEgress(ent.Route, devV)
+			if eg.Verdict != behavior.Pass {
+				stats.DroppedPolicy++
+				continue
+			}
+			cond := s.F.AndAll(guard, sessCond)
+			if s.Opts.PruneImpossible && s.F.Impossible(cond) {
+				stats.DroppedImpossible++
+				continue
+			}
+			if s.Opts.PruneOverK && s.F.MinFalse(cond) > s.Opts.K {
+				stats.DroppedOverK++
+				continue
+			}
+			sent = append(sent, Entry{Route: eg.Route, Cond: cond})
+			ing := devV.ProcessIngress(eg.Route, devU)
+			if ing.Verdict != behavior.Pass {
+				stats.DroppedPolicy++
+				continue
+			}
+			stats.observeCondLen(s.F.Len(cond))
+			if s.Opts.Simplify && s.F.Len(cond) > s.Opts.SimplifyThreshold {
+				cond = s.F.Simplify(cond)
+			}
+			out = append(out, Entry{Route: ing.Route, Cond: cond})
+			stats.Delivered++
+			kept++
+		}
+	}
+	return out, sent
+}
+
+// rank sorts entries best-first, emulating the router's two-stage
+// selection: BGP routes are ordered among themselves by the BGP decision
+// process (admin preference ignored), non-BGP routes by admin preference,
+// and the two orders merge by comparing each BGP route's own admin
+// preference against the non-BGP route's. A single pairwise comparator
+// cannot express this (it would be intransitive across classes), hence the
+// explicit merge.
+func (s *Simulator) rank(es []Entry, at int) {
+	ridOf := func(e Entry) uint32 {
+		if e.Route.FromNode == topo.NoNode {
+			return s.M.Net.Node(topo.NodeID(at)).RouterID
+		}
+		return s.M.Net.Node(e.Route.FromNode).RouterID
+	}
+	less := func(a, b Entry) bool {
+		if route.Better(a.Route, b.Route, ridOf(a), ridOf(b)) {
+			return true
+		}
+		if route.Better(b.Route, a.Route, ridOf(b), ridOf(a)) {
+			return false
+		}
+		if a.Route.FromNode != b.Route.FromNode {
+			return a.Route.FromNode < b.Route.FromNode
+		}
+		return a.Cond < b.Cond
+	}
+	var bgp, other []Entry
+	for _, e := range es {
+		if e.Route.IsBGP() {
+			bgp = append(bgp, e)
+		} else {
+			other = append(other, e)
+		}
+	}
+	sort.SliceStable(bgp, func(i, j int) bool { return less(bgp[i], bgp[j]) })
+	sort.SliceStable(other, func(i, j int) bool { return less(other[i], other[j]) })
+	i, j := 0, 0
+	for k := range es {
+		switch {
+		case i == len(bgp):
+			es[k] = other[j]
+			j++
+		case j == len(other):
+			es[k] = bgp[i]
+			i++
+		case other[j].Route.AdminPref < bgp[i].Route.AdminPref ||
+			(other[j].Route.AdminPref == bgp[i].Route.AdminPref && other[j].Route.Protocol < bgp[i].Route.Protocol):
+			es[k] = other[j]
+			j++
+		default:
+			es[k] = bgp[i]
+			i++
+		}
+	}
+}
+
+// applyAggregates injects aggregate entries and re-guards component
+// entries at aggregation points (§5.3): the aggregate exists when every
+// component is present; summary-only suppresses components while the
+// aggregate is active, keeping the rules mutually exclusive.
+func (s *Simulator) applyAggregates(u int, byPrefix map[netaddr.Prefix][]Entry, inFamily map[netaddr.Prefix]bool) {
+	cfg := s.M.Configs[u]
+	if cfg.BGP == nil {
+		return
+	}
+	for _, agg := range cfg.BGP.Aggregates {
+		if !inFamily[agg.Prefix] {
+			continue
+		}
+		aggCond := logic.True
+		complete := true
+		for _, c := range agg.Components {
+			compCond := logic.False
+			for _, e := range byPrefix[c] {
+				compCond = s.F.Or(compCond, e.Cond)
+			}
+			if compCond == logic.False {
+				complete = false
+				break
+			}
+			aggCond = s.F.And(aggCond, compCond)
+		}
+		if !complete || s.F.Impossible(aggCond) {
+			continue
+		}
+		r := route.New(agg.Prefix, route.EBGP, topo.NodeID(u))
+		r.OriginAtt = route.OriginIncomplete
+		// Replace any previous aggregate entry for this prefix that we
+		// generated (identified by OriginNode == u and empty AS path).
+		kept := byPrefix[agg.Prefix][:0]
+		for _, e := range byPrefix[agg.Prefix] {
+			if !(e.Route.OriginNode == topo.NodeID(u) && len(e.Route.ASPath) == 0 && e.Route.OriginAtt == route.OriginIncomplete) {
+				kept = append(kept, e)
+			}
+		}
+		byPrefix[agg.Prefix] = append(kept, Entry{Route: r, Cond: aggCond})
+		if agg.SummaryOnly {
+			notAgg := s.F.Not(aggCond)
+			for _, c := range agg.Components {
+				es := byPrefix[c]
+				for i := range es {
+					es[i].Cond = s.F.And(es[i].Cond, notAgg)
+				}
+				// Drop components that became impossible.
+				kept := es[:0]
+				for _, e := range es {
+					if !s.F.Impossible(e.Cond) {
+						kept = append(kept, e)
+					}
+				}
+				byPrefix[c] = kept
+			}
+		}
+	}
+}
+
+func (s *Simulator) entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !route.SameAttrs(a[i].Route, b[i].Route) || a[i].Route.FromNode != b[i].Route.FromNode {
+			return false
+		}
+		// Hash-consing makes identical conditions pointer-equal; only
+		// structurally different formulas need the BDD equivalence check.
+		if a[i].Cond != b[i].Cond && !s.F.Equivalent(a[i].Cond, b[i].Cond) {
+			return false
+		}
+	}
+	return true
+}
+
+// SessionInfo describes one directed BGP session for consumers that walk
+// the session graph themselves (the racing detector floods over it).
+type SessionInfo struct {
+	From, To topo.NodeID
+	IBGP     bool
+	// Possible is false when the session can never establish (no physical
+	// link for eBGP, or IGP-unreachable endpoints for iBGP).
+	Possible bool
+}
+
+// SessionList returns every configured, both-ends-resolved BGP session.
+// Resolving iBGP session conditions may trigger IGP propagation.
+func (s *Simulator) SessionList() []SessionInfo {
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for i, se := range s.sessions {
+		cond := s.sessionCond(i)
+		out = append(out, SessionInfo{From: se.from, To: se.to, IBGP: se.ibgp,
+			Possible: cond != logic.False && s.F.SAT(cond)})
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/logic"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+func buildModel(t testing.TB, names []string, ases []uint32, links [][2]string, cfgs map[string]string) *core.Model {
+	t.Helper()
+	net := topo.NewNetwork()
+	for i, name := range names {
+		net.MustAddNode(topo.Node{Name: name, AS: ases[i], Vendor: behavior.VendorAlpha, Region: "r0"})
+	}
+	for _, l := range links {
+		a, _ := net.NodeByName(l[0])
+		b, _ := net.NodeByName(l[1])
+		net.MustAddLink(a.ID, b.ID, 10)
+	}
+	snap := config.Snapshot{}
+	for name, text := range cfgs {
+		d, err := config.Parse(text)
+		if err != nil {
+			t.Fatalf("config %s: %v", name, err)
+		}
+		snap[name] = d
+	}
+	m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// figure4 builds the Figure 4/5 network: A announces N=10.0.0.0/8.
+func figure4(t testing.TB, extraC string) (*core.Model, *core.Simulator, *core.Result) {
+	t.Helper()
+	cfg := func(name, as string, peers map[string]string, extra string, nets ...string) string {
+		var b strings.Builder
+		b.WriteString("hostname " + name + "\nvendor alpha\nrouter bgp " + as + "\n")
+		for p, pas := range peers {
+			b.WriteString(" neighbor " + p + " remote-as " + pas + "\n")
+		}
+		for _, n := range nets {
+			b.WriteString(" network " + n + "\n")
+		}
+		b.WriteString(extra)
+		return b.String()
+	}
+	m := buildModel(t,
+		[]string{"A", "B", "C", "D"},
+		[]uint32{100, 200, 300, 400},
+		[][2]string{{"A", "C"}, {"A", "B"}, {"B", "C"}, {"C", "D"}},
+		map[string]string{
+			"A": cfg("A", "100", map[string]string{"B": "200", "C": "300"}, "", "10.0.0.0/8"),
+			"B": cfg("B", "200", map[string]string{"A": "100", "C": "300"}, ""),
+			"C": cfg("C", "300", map[string]string{"A": "100", "B": "200", "D": "400"}, extraC),
+			"D": cfg("D", "400", map[string]string{"C": "300"}, ""),
+		})
+	s := core.NewSimulator(m, core.DefaultOptions())
+	res, err := s.Run(netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s, res
+}
+
+func id(t testing.TB, m *core.Model, name string) topo.NodeID {
+	t.Helper()
+	n, ok := m.Resolve(name)
+	if !ok {
+		t.Fatalf("node %s", name)
+	}
+	return n
+}
+
+// TestFigure5PacketReach reproduces the packet walk of Figure 5: D→A for
+// subnet N; the reachability condition collapses to a1∧a4 ∨ (¬a1∧a2∧a3∧a4)
+// and the impossible p6 branch is pruned.
+func TestFigure5PacketReach(t *testing.T) {
+	m, s, res := figure4(t, "")
+	fib := Build(res)
+	f := s.F
+	a := id(t, m, "A")
+	d := id(t, m, "D")
+	dst := netaddr.MustParse("10.0.0.1").Addr
+
+	pr := fib.PacketReach(d, 0, dst, a)
+	a1, a2, a3, a4 := f.Var(0), f.Var(1), f.Var(2), f.Var(3)
+	want := f.Or(f.And(a1, a4), f.AndAll(f.Not(a1), a2, a3, a4))
+	if !f.Equivalent(pr.Cond, want) {
+		t.Fatalf("packet cond %s, want %s", f.String(pr.Cond), f.String(want))
+	}
+	if fib.MinFailuresToLose(d, 0, dst, a) != 1 {
+		t.Fatal("failing L4 must break packet reachability")
+	}
+	if !fib.Reachable(d, 0, dst, a) {
+		t.Fatal("reachable with all links up")
+	}
+}
+
+func TestForwardUnder(t *testing.T) {
+	m, _, res := figure4(t, "")
+	fib := Build(res)
+	a, b, c, d := id(t, m, "A"), id(t, m, "B"), id(t, m, "C"), id(t, m, "D")
+	dst := netaddr.MustParse("10.0.0.1").Addr
+
+	path, ok := fib.ForwardUnder(d, 0, dst, a, nil)
+	if !ok || len(path) != 3 || path[0] != d || path[1] != c || path[2] != a {
+		t.Fatalf("all-up path %v", path)
+	}
+	// Fail L1 (A~C): the path detours via B.
+	path, ok = fib.ForwardUnder(d, 0, dst, a, logic.Assignment{0: false})
+	if !ok || len(path) != 4 || path[2] != b {
+		t.Fatalf("detour path %v ok=%v", path, ok)
+	}
+	// Fail L4: unreachable.
+	if _, ok := fib.ForwardUnder(d, 0, dst, a, logic.Assignment{3: false}); ok {
+		t.Fatal("L4 failure must break forwarding")
+	}
+}
+
+// TestACLBlocksPacketButNotRoute demonstrates the §5.1 distinction: the
+// route is present but a data-plane ACL drops the packet.
+func TestACLBlocksPacketButNotRoute(t *testing.T) {
+	acl := "access-list BLK deny any 10.0.0.0/8\naccess-list BLK permit any any\ninterface D access-list BLK in\n"
+	m, _, res := figure4(t, acl)
+	fib := Build(res)
+	a, d := id(t, m, "A"), id(t, m, "D")
+	n := netaddr.MustParse("10.0.0.0/8")
+
+	if !res.Reachable(d, core.AnyRouteTo(n)) {
+		t.Fatal("route must still propagate (control plane unaffected)")
+	}
+	if fib.Reachable(d, 0, n.Addr, a) {
+		t.Fatal("C's ingress ACL from D must drop the packet")
+	}
+	if !fib.RouteVsPacketGap(d, n, a) {
+		t.Fatal("gap detector must fire")
+	}
+	pr := fib.PacketReach(d, 0, n.Addr, a)
+	if pr.Stats.DroppedACL == 0 {
+		t.Fatal("ACL drops must be counted")
+	}
+}
+
+// TestDefaultACLVSBOnDataPlane: an ACL that matches nothing falls to the
+// vendor default — permit on alpha, deny on beta.
+func TestDefaultACLVSBOnDataPlane(t *testing.T) {
+	acl := "access-list NARROW deny any 99.99.99.99/32\ninterface D access-list NARROW in\n"
+	run := func(vendor string) bool {
+		m, _, res := figure4(t, acl)
+		// Rebuild C's device under the other vendor's profile.
+		c := id(t, m, "C")
+		prof := behavior.TrueProfiles().Get(vendor)
+		m.Devices[c].Prof = prof
+		fib := Build(res)
+		return fib.Reachable(id(t, m, "D"), 0, netaddr.MustParse("10.0.0.1").Addr, id(t, m, "A"))
+	}
+	if !run(behavior.VendorAlpha) {
+		t.Fatal("alpha default-permit must pass the unmatched packet")
+	}
+	if run(behavior.VendorBeta) {
+		t.Fatal("beta default-deny must drop the unmatched packet")
+	}
+}
+
+// TestLPMPrefersLongerPrefix: a more specific static at C steals traffic
+// from the BGP route.
+func TestLPMPrefersLongerPrefix(t *testing.T) {
+	// C has a static /16 inside N pointing back to D (blackholing the
+	// specific range away from A).
+	m, _, res := figure4(t, "ip route 10.1.0.0/16 D\n")
+	fib := Build(res)
+	a, c, d := id(t, m, "A"), id(t, m, "C"), id(t, m, "D")
+
+	// Packets to 10.1.x hit the /16 at C and bounce back toward D —
+	// never reaching A.
+	inSpecific := netaddr.MustParse("10.1.2.3").Addr
+	if fib.Reachable(c, 0, inSpecific, a) {
+		t.Fatal("specific range must be captured by the /16 static")
+	}
+	// Packets outside the /16 still follow the /8 to A.
+	outside := netaddr.MustParse("10.2.0.1").Addr
+	if !fib.Reachable(c, 0, outside, a) {
+		t.Fatal("outside the /16 the /8 route must carry")
+	}
+	_ = d
+}
+
+// TestIBGPRecursiveResolution: far's iBGP route resolves through the IGP,
+// producing per-IGP-alternative FIB rules.
+func TestIBGPRecursiveResolution(t *testing.T) {
+	isis := "router isis\n level 2\n"
+	m := buildModel(t,
+		[]string{"ext", "edge", "mid", "far"},
+		[]uint32{65100, 100, 100, 100},
+		[][2]string{{"ext", "edge"}, {"edge", "mid"}, {"mid", "far"}, {"edge", "far"}},
+		map[string]string{
+			"ext":  "hostname ext\nvendor alpha\nrouter bgp 65100\n neighbor edge remote-as 100\n network 77.0.0.0/8\n",
+			"edge": "hostname edge\nvendor alpha\nrouter bgp 100\n neighbor ext remote-as 65100\n neighbor far remote-as 100\n neighbor far next-hop-self\n neighbor mid remote-as 100\n neighbor mid next-hop-self\n" + isis,
+			"mid":  "hostname mid\nvendor alpha\nrouter bgp 100\n neighbor edge remote-as 100\n" + isis,
+			"far":  "hostname far\nvendor alpha\nrouter bgp 100\n neighbor edge remote-as 100\n" + isis,
+		})
+	s := core.NewSimulator(m, core.DefaultOptions())
+	res, err := s.Run(netaddr.MustParse("77.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := Build(res)
+	far := id(t, m, "far")
+	ext := id(t, m, "ext")
+	dst := netaddr.MustParse("77.0.0.1").Addr
+
+	// far has two IGP paths to edge (direct, and via mid): two FIB rules.
+	rules := fib.Rules(far)
+	if len(rules) < 2 {
+		t.Fatalf("expected recursive rules per IGP alternative, got %+v", rules)
+	}
+	// Packet survives failure of the direct edge~far link.
+	pr := fib.PacketReach(far, 0, dst, ext)
+	f := s.F
+	if !f.Eval(pr.Cond, nil) {
+		t.Fatal("reachable all-up")
+	}
+	// Direct link is link index 3 (edge~far).
+	if !f.Eval(pr.Cond, logic.Assignment{3: false}) {
+		t.Fatal("must survive direct-link failure via mid")
+	}
+	if min := fib.MinFailuresToLose(far, 0, dst, ext); min != 1 {
+		// ext~edge is a single point of failure.
+		t.Fatalf("min failures %d, want 1 (ext~edge)", min)
+	}
+}
+
+func TestRulesOrderLPMFirst(t *testing.T) {
+	m, _, res := figure4(t, "ip route 10.1.0.0/16 D\n")
+	fib := Build(res)
+	c := id(t, m, "C")
+	rules := fib.Rules(c)
+	if len(rules) < 2 {
+		t.Fatalf("rules %v", rules)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Prefix.Len < rules[i].Prefix.Len {
+			t.Fatal("rules must be sorted longest-prefix first")
+		}
+	}
+}
+
+func TestPacketStatsAccounting(t *testing.T) {
+	m, _, res := figure4(t, "")
+	fib := Build(res)
+	pr := fib.PacketReach(id(t, m, "D"), 0, netaddr.MustParse("10.0.0.1").Addr, id(t, m, "A"))
+	st := pr.Stats
+	if st.Branches == 0 {
+		t.Fatal("no branches counted")
+	}
+	if st.Delivered == 0 {
+		t.Fatal("no deliveries counted")
+	}
+}

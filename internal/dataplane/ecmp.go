@@ -1,0 +1,130 @@
+package dataplane
+
+import (
+	"sort"
+
+	"hoyan/internal/logic"
+	"hoyan/internal/route"
+	"hoyan/internal/topo"
+)
+
+// ECMP support — the paper's explicit future-work item (Appendix D: "We
+// leave the ECMP reasoning support to the future work"). The paper's
+// architectural assumption is that equal-cost targets live in the same
+// device group with identical forwarding behavior; these helpers verify
+// exactly that assumption instead of taking it on faith:
+//
+//   - ECMPGroup reports the set of equal-cost next hops a router would
+//     load-balance across for a destination;
+//   - ECMPBlackholes finds group members that silently drop the traffic
+//     they would receive (per-member ACL blocks, asymmetric FIBs): the
+//     failure mode that is invisible to any single-path reachability
+//     check, because the best path still delivers.
+
+// equalCost reports whether two routes tie through the BGP decision
+// process when the node-identity tie-breaks (router ID, learned-from) are
+// ignored — the multipath eligibility rule.
+func equalCost(a, b route.Route) bool {
+	return !route.Better(a, b, 0, 0) && !route.Better(b, a, 0, 0)
+}
+
+// ECMPGroup returns the distinct next hops of the rules a router would
+// install as one multipath group for dstAddr under the given assignment
+// (nil = all links up): the best active rule plus every other active rule
+// of equal cost and equal prefix. A singleton means no ECMP.
+func (fib *FIB) ECMPGroup(n topo.NodeID, dstAddr uint32, asn logic.Assignment) []topo.NodeID {
+	f := fib.Res.Sim.F
+	var best *Rule
+	for i := range fib.rules[n] {
+		r := &fib.rules[n][i]
+		if r.Prefix.Contains(dstAddr) && f.Eval(r.Cond, asn) {
+			best = r
+			break
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	bestEntry, ok := fib.entryFor(n, *best)
+	if !ok {
+		return []topo.NodeID{best.NextHop}
+	}
+	seen := map[topo.NodeID]bool{best.NextHop: true}
+	group := []topo.NodeID{best.NextHop}
+	for i := range fib.rules[n] {
+		r := &fib.rules[n][i]
+		if r.Prefix != best.Prefix || r.NextHop == best.NextHop || r.Local {
+			continue
+		}
+		if !f.Eval(r.Cond, asn) || seen[r.NextHop] {
+			continue
+		}
+		e, ok := fib.entryFor(n, *r)
+		if !ok {
+			continue
+		}
+		if equalCost(bestEntry, e) {
+			seen[r.NextHop] = true
+			group = append(group, r.NextHop)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	return group
+}
+
+// entryFor maps a FIB rule back to its RIB entry (by prefix and rank).
+func (fib *FIB) entryFor(n topo.NodeID, r Rule) (route.Route, bool) {
+	rib := fib.Res.RIB(n)
+	if r.Rank-1 >= 0 && r.Rank-1 < len(rib) {
+		e := rib[r.Rank-1]
+		if e.Route.Prefix == r.Prefix {
+			return e.Route, true
+		}
+	}
+	for _, e := range rib {
+		if e.Route.Prefix == r.Prefix {
+			return e.Route, true
+		}
+	}
+	return route.Route{}, false
+}
+
+// ECMPBlackholes returns the members of src's multipath group for dstAddr
+// whose share of the traffic would NOT reach the gateway with all links up
+// — even though the group's best path delivers. Empty means the ECMP group
+// is safe (or there is no ECMP).
+func (fib *FIB) ECMPBlackholes(src topo.NodeID, srcAddr, dstAddr uint32, gateway topo.NodeID) []topo.NodeID {
+	group := fib.ECMPGroup(src, dstAddr, nil)
+	if len(group) < 2 {
+		return nil
+	}
+	var bad []topo.NodeID
+	for _, hop := range group {
+		if !fib.deliversVia(src, hop, srcAddr, dstAddr, gateway) {
+			bad = append(bad, hop)
+		}
+	}
+	return bad
+}
+
+// deliversVia traces a packet that is forced through `hop` as its first
+// hop from src, then follows normal forwarding, under all links up.
+func (fib *FIB) deliversVia(src, hop topo.NodeID, srcAddr, dstAddr uint32, gateway topo.NodeID) bool {
+	devU := fib.Res.Sim.M.Devices[src]
+	devV := fib.Res.Sim.M.Devices[hop]
+	if ok, _, _ := devU.PermitData(devV.Cfg.Hostname, "out", srcAddr, dstAddr); !ok {
+		return false
+	}
+	if ok, _, _ := devV.PermitData(devU.Cfg.Hostname, "in", srcAddr, dstAddr); !ok {
+		return false
+	}
+	if hop == gateway {
+		return true
+	}
+	path, ok := fib.ForwardUnder(hop, srcAddr, dstAddr, gateway, nil)
+	if !ok {
+		return false
+	}
+	// Forbid bouncing straight back (a micro-loop, not delivery).
+	return len(path) < 2 || path[1] != src || path[len(path)-1] == gateway
+}

@@ -1,0 +1,100 @@
+package dataplane
+
+import (
+	"testing"
+
+	"hoyan/internal/core"
+	"hoyan/internal/logic"
+	"hoyan/internal/netaddr"
+)
+
+// ecmpModel: src load-balances to gw's prefix via two equal-cost middle
+// routers m1, m2 (same AS path length, same attributes).
+func ecmpModel(t testing.TB, extraM2 string) (*core.Model, *core.Result) {
+	t.Helper()
+	m := buildModel(t,
+		[]string{"src", "m1", "m2", "gw"},
+		[]uint32{100, 200, 200, 300},
+		[][2]string{{"src", "m1"}, {"src", "m2"}, {"m1", "gw"}, {"m2", "gw"}},
+		map[string]string{
+			"src": "hostname src\nvendor alpha\nrouter bgp 100\n neighbor m1 remote-as 200\n neighbor m2 remote-as 200\n",
+			"m1":  "hostname m1\nvendor alpha\nrouter bgp 200\n neighbor src remote-as 100\n neighbor gw remote-as 300\n",
+			"m2":  "hostname m2\nvendor alpha\nrouter bgp 200\n neighbor src remote-as 100\n neighbor gw remote-as 300\n" + extraM2,
+			"gw":  "hostname gw\nvendor alpha\nrouter bgp 300\n network 10.0.0.0/8\n neighbor m1 remote-as 200\n neighbor m2 remote-as 200\n",
+		})
+	res, err := core.NewSimulator(m, core.DefaultOptions()).Run(netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestECMPGroupDetectsEqualCost(t *testing.T) {
+	m, res := ecmpModel(t, "")
+	fib := Build(res)
+	src := id(t, m, "src")
+	m1, m2 := id(t, m, "m1"), id(t, m, "m2")
+	dst := netaddr.MustParse("10.0.0.1").Addr
+
+	group := fib.ECMPGroup(src, dst, nil)
+	if len(group) != 2 || group[0] != m1 || group[1] != m2 {
+		t.Fatalf("ECMP group %v, want [m1 m2]", group)
+	}
+	// Under failure of src~m1, only m2 remains.
+	group = fib.ECMPGroup(src, dst, logic.Assignment{0: false})
+	if len(group) != 1 || group[0] != m2 {
+		t.Fatalf("post-failure group %v", group)
+	}
+	// No group for unknown destinations.
+	if g := fib.ECMPGroup(src, netaddr.MustParse("99.0.0.1").Addr, nil); g != nil {
+		t.Fatalf("unexpected group %v", g)
+	}
+}
+
+func TestECMPGroupSingletonWhenCostsDiffer(t *testing.T) {
+	// m2 prepends, making its path longer — no multipath.
+	m, res := ecmpModel(t, " neighbor src route-policy PREP out\nroute-policy PREP permit 10\n set as-path prepend 200\n")
+	fib := Build(res)
+	src := id(t, m, "src")
+	dst := netaddr.MustParse("10.0.0.1").Addr
+	group := fib.ECMPGroup(src, dst, nil)
+	if len(group) != 1 {
+		t.Fatalf("prepended path must not be multipath-eligible: %v", group)
+	}
+}
+
+func TestECMPBlackholeDetection(t *testing.T) {
+	// m2 silently drops traffic for the prefix on its ingress from src:
+	// the classic ECMP blackhole — overall reachability still holds via
+	// m1, so only the per-member check sees it.
+	acl := "access-list BH deny any 10.0.0.0/8\naccess-list BH permit any any\ninterface src access-list BH in\n"
+	m, res := ecmpModel(t, acl)
+	fib := Build(res)
+	src := id(t, m, "src")
+	m2 := id(t, m, "m2")
+	gw := id(t, m, "gw")
+	dst := netaddr.MustParse("10.0.0.1").Addr
+
+	if !fib.Reachable(src, 0, dst, gw) {
+		t.Fatal("single-path reachability must still hold via m1")
+	}
+	bad := fib.ECMPBlackholes(src, 0, dst, gw)
+	if len(bad) != 1 || bad[0] != m2 {
+		t.Fatalf("blackholes %v, want [m2]", bad)
+	}
+	// Clean group: no blackholes.
+	mClean, resClean := ecmpModel(t, "")
+	fibClean := Build(resClean)
+	if bad := fibClean.ECMPBlackholes(id(t, mClean, "src"), 0, dst, id(t, mClean, "gw")); len(bad) != 0 {
+		t.Fatalf("clean group must be safe: %v", bad)
+	}
+}
+
+func TestECMPBlackholesNoGroup(t *testing.T) {
+	// Single path: no group, no report.
+	m, _, res := figure4(t, "")
+	fib := Build(res)
+	if bad := fib.ECMPBlackholes(id(t, m, "D"), 0, netaddr.MustParse("10.0.0.1").Addr, id(t, m, "A")); bad != nil {
+		t.Fatalf("no ECMP on the diamond: %v", bad)
+	}
+}

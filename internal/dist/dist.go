@@ -1,0 +1,257 @@
+// Package dist distributes per-prefix verification across worker
+// processes — the deployment note of §8: "Hoyan could be run in a
+// distributed way to get better performance". The unit of distribution is
+// the same as the paper's unit of parallelism: one prefix simulation.
+//
+// Workers hold the full network model (configurations are distributed out
+// of band, e.g. a shared network directory) and answer JSON-lines requests
+// over TCP:
+//
+//	-> {"prefix":"10.0.0.0/24","k":3}
+//	<- {"prefix":"10.0.0.0/24","summaries":[...],"error":""}
+//
+// The coordinator fans prefixes out over a worker pool with work
+// stealing (each worker pulls the next prefix when done), aggregates the
+// per-router reachability summaries, and reports stragglers.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+// Request asks a worker to verify one prefix at failure budget K.
+type Request struct {
+	Prefix string `json:"prefix"`
+	K      int    `json:"k"`
+}
+
+// RouterSummary is one router's verdict for the prefix.
+type RouterSummary struct {
+	Router string `json:"router"`
+	// Reachable with all links up.
+	Reachable bool `json:"reachable"`
+	// MinFailures breaking reachability; -1 when it survives the budget.
+	MinFailures int `json:"min_failures"`
+}
+
+// Response carries a worker's result.
+type Response struct {
+	Prefix    string          `json:"prefix"`
+	Summaries []RouterSummary `json:"summaries,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// Worker serves verification requests for one network snapshot.
+type Worker struct {
+	net  *topo.Network
+	snap config.Snapshot
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWorker builds a worker over a network.
+func NewWorker(n *topo.Network, snap config.Snapshot) *Worker {
+	return &Worker{net: n, snap: snap}
+}
+
+// Serve accepts coordinator connections until Close.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				w.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer conn.Close()
+			w.handle(conn)
+		}()
+	}
+}
+
+// Close stops the worker.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	ln := w.ln
+	w.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// handle processes one coordinator connection: a stream of requests, one
+// simulator per (connection, k) reused across prefixes for IGP warmth.
+func (w *Worker) handle(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	sims := map[int]*core.Simulator{}
+	var model *core.Model
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or garbage; drop it
+		}
+		resp := Response{Prefix: req.Prefix}
+		p, err := netaddr.Parse(req.Prefix)
+		if err != nil {
+			resp.Error = err.Error()
+			enc.Encode(resp)
+			continue
+		}
+		if model == nil {
+			model, err = core.Assemble(w.net, w.snap, behavior.TrueProfiles())
+			if err != nil {
+				resp.Error = err.Error()
+				enc.Encode(resp)
+				continue
+			}
+		}
+		sim := sims[req.K]
+		if sim == nil {
+			opts := core.DefaultOptions()
+			opts.K = req.K
+			sim = core.NewSimulator(model, opts)
+			sims[req.K] = sim
+		}
+		res, err := sim.Run(p)
+		if err != nil {
+			resp.Error = err.Error()
+			enc.Encode(resp)
+			continue
+		}
+		for _, node := range w.net.Nodes() {
+			if model.Configs[node.ID].BGP == nil {
+				continue
+			}
+			pt := core.AnyRouteTo(p)
+			rs := RouterSummary{Router: node.Name, Reachable: res.Reachable(node.ID, pt)}
+			if rs.Reachable {
+				min, _ := res.MinFailuresToLose(node.ID, pt)
+				if min > req.K {
+					rs.MinFailures = -1
+				} else {
+					rs.MinFailures = min
+				}
+			}
+			resp.Summaries = append(resp.Summaries, rs)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Coordinator fans work out over remote workers.
+type Coordinator struct {
+	Addrs []string
+}
+
+// Result aggregates the distributed run.
+type Result struct {
+	// ByPrefix maps prefix to per-router summaries.
+	ByPrefix map[string][]RouterSummary
+	// Assigned counts prefixes completed per worker address.
+	Assigned map[string]int
+}
+
+// Run verifies the prefixes at budget k across the workers with work
+// stealing. It fails fast on worker errors (a production deployment would
+// retry; tests want determinism).
+func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
+	if len(c.Addrs) == 0 {
+		return nil, fmt.Errorf("dist: no workers")
+	}
+	// Buffered and pre-filled: a worker failing mid-queue must not strand
+	// the feeder (remaining jobs are simply never pulled).
+	jobs := make(chan string, len(prefixes))
+	for _, p := range prefixes {
+		jobs <- p
+	}
+	close(jobs)
+	out := &Result{ByPrefix: map[string][]RouterSummary{}, Assigned: map[string]int{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(c.Addrs))
+	for _, addr := range c.Addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errCh <- fmt.Errorf("dist: %s: %w", addr, err)
+				// Drain so other workers can finish the queue.
+				return
+			}
+			defer conn.Close()
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			for p := range jobs {
+				if err := enc.Encode(Request{Prefix: p, K: k}); err != nil {
+					errCh <- fmt.Errorf("dist: %s: %w", addr, err)
+					return
+				}
+				var resp Response
+				if err := dec.Decode(&resp); err != nil {
+					errCh <- fmt.Errorf("dist: %s: %w", addr, err)
+					return
+				}
+				if resp.Error != "" {
+					errCh <- fmt.Errorf("dist: %s: %s: %s", addr, p, resp.Error)
+					return
+				}
+				mu.Lock()
+				out.ByPrefix[resp.Prefix] = resp.Summaries
+				out.Assigned[addr]++
+				mu.Unlock()
+			}
+		}(addr)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return out, err
+	default:
+	}
+	if len(out.ByPrefix) != len(dedup(prefixes)) {
+		return out, fmt.Errorf("dist: %d/%d prefixes completed", len(out.ByPrefix), len(dedup(prefixes)))
+	}
+	return out, nil
+}
+
+func dedup(ps []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"net"
+	"testing"
+
+	"hoyan/internal/gen"
+)
+
+// startWorkers spins up n in-process workers over loopback sharing one
+// generated WAN, returning their addresses and a stop function.
+func startWorkers(t *testing.T, w *gen.WAN, n int) ([]string, func()) {
+	t.Helper()
+	var addrs []string
+	var stops []func()
+	for i := 0; i < n; i++ {
+		wk := NewWorker(w.Net, w.Snap)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- wk.Serve(ln) }()
+		addrs = append(addrs, ln.Addr().String())
+		stops = append(stops, func() {
+			wk.Close()
+			<-done
+		})
+	}
+	return addrs, func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+func TestDistributedSweepMatchesLocal(t *testing.T) {
+	w, err := gen.Generate(gen.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stop := startWorkers(t, w, 3)
+	defer stop()
+
+	var prefixes []string
+	for _, p := range w.Prefixes() {
+		prefixes = append(prefixes, p.String())
+	}
+	coord := &Coordinator{Addrs: addrs}
+	res, err := coord.Run(prefixes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByPrefix) != len(prefixes) {
+		t.Fatalf("completed %d/%d", len(res.ByPrefix), len(prefixes))
+	}
+	// Every BGP router reports reachable on the clean WAN, and dual-homed
+	// prefixes never break at a single failure.
+	for p, sums := range res.ByPrefix {
+		if len(sums) == 0 {
+			t.Fatalf("%s: empty summaries", p)
+		}
+		for _, s := range sums {
+			if !s.Reachable {
+				t.Fatalf("%s unreachable at %s", p, s.Router)
+			}
+			if s.MinFailures == 1 {
+				t.Fatalf("%s breakable at 1 failure at %s", p, s.Router)
+			}
+		}
+	}
+	// Work stealing used more than one worker.
+	used := 0
+	for _, n := range res.Assigned {
+		if n > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("work distribution %v", res.Assigned)
+	}
+}
+
+func TestCoordinatorErrors(t *testing.T) {
+	w, err := gen.Generate(gen.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No workers.
+	if _, err := (&Coordinator{}).Run([]string{"10.0.0.0/24"}, 1); err == nil {
+		t.Fatal("no workers must fail")
+	}
+	// Unreachable worker address.
+	bad := &Coordinator{Addrs: []string{"127.0.0.1:1"}}
+	if _, err := bad.Run([]string{"10.0.0.0/24"}, 1); err == nil {
+		t.Fatal("dead worker must surface")
+	}
+	// Bad prefix reaches the worker and comes back as an error.
+	addrs, stop := startWorkers(t, w, 1)
+	defer stop()
+	coord := &Coordinator{Addrs: addrs}
+	if _, err := coord.Run([]string{"not-a-prefix"}, 1); err == nil {
+		t.Fatal("bad prefix must surface")
+	}
+}
+
+func TestWorkerReusesSimulatorAcrossPrefixes(t *testing.T) {
+	w, err := gen.Generate(gen.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stop := startWorkers(t, w, 1)
+	defer stop()
+	coord := &Coordinator{Addrs: addrs}
+	var prefixes []string
+	for _, p := range w.Prefixes()[:3] {
+		prefixes = append(prefixes, p.String())
+	}
+	// Two runs over the same connection-per-run model must both succeed
+	// (the worker keeps per-connection simulators; closing and reopening
+	// is also fine).
+	for i := 0; i < 2; i++ {
+		res, err := coord.Run(prefixes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ByPrefix) != 3 {
+			t.Fatalf("run %d: %d prefixes", i, len(res.ByPrefix))
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hoyan/internal/config"
+	"hoyan/internal/netaddr"
+)
+
+// FaultKind classifies an injected misconfiguration, mirroring the §7 case
+// studies.
+type FaultKind string
+
+// Fault kinds.
+const (
+	FaultStaticPref FaultKind = "static-pref-flip" // §7.1 outage
+	FaultRacing     FaultKind = "racing"           // Figure 1
+	FaultIPConflict FaultKind = "ip-conflict"      // §7.2 audit case
+	FaultRoleDrift  FaultKind = "role-drift"       // §7.2 equivalence case
+	FaultACLBlock   FaultKind = "acl-block"        // data-plane block
+)
+
+// AllFaultKinds lists the injectable classes.
+var AllFaultKinds = []FaultKind{FaultStaticPref, FaultRacing, FaultIPConflict, FaultRoleDrift, FaultACLBlock}
+
+// Fault is one injected misconfiguration with its ground truth.
+type Fault struct {
+	Kind        FaultKind
+	Updates     []config.Update
+	Description string
+	// Prefix is the affected prefix when applicable.
+	Prefix netaddr.Prefix
+	// Nodes are the routers whose behavior the fault changes.
+	Nodes []string
+}
+
+// sortedPrefixes gives a deterministic prefix order for pickers.
+func (w *WAN) pickPrefix(rng *rand.Rand) (netaddr.Prefix, string) {
+	ps := w.Prefixes()
+	p := ps[rng.Intn(len(ps))]
+	return p, w.PrefixOwners[p]
+}
+
+// InjectStaticPref reproduces the §7.1 incident: a PE gains a static route
+// for a service prefix at preference 1 plus an eBGP preference 30 for one
+// gateway; a later "harmless" update flips the static to preference 150,
+// silently handing the prefix to eBGP. The returned fault is the flip.
+func (w *WAN) InjectStaticPref(rng *rand.Rand) Fault {
+	p, owner := w.pickPrefix(rng)
+	// Attach the static on a PE connected to the owner gateway.
+	ownerCfg := w.Snap[owner]
+	pe := ownerCfg.BGP.Neighbors[0].PeerName
+	peCfg := w.Snap[pe]
+	coreName := peCfg.BGP.Neighbors[0].PeerName
+	prep := config.Update{Device: pe, Lines: []string{
+		fmt.Sprintf("ip route %s %s preference 1", p, coreName),
+		fmt.Sprintf("router bgp %d", peCfg.BGP.AS),
+		fmt.Sprintf(" neighbor %s preference 30", owner),
+	}}
+	// The prep establishes the (intended) state; the fault is the flip.
+	flip := config.Update{Device: pe, Lines: []string{
+		fmt.Sprintf("no ip route %s %s", p, coreName),
+		fmt.Sprintf("ip route %s %s preference 150", p, coreName),
+	}}
+	return Fault{
+		Kind:        FaultStaticPref,
+		Updates:     []config.Update{prep, flip},
+		Description: fmt.Sprintf("static preference flip for %s on %s (1 -> 150 vs eBGP 30)", p, pe),
+		Prefix:      p,
+		Nodes:       []string{pe},
+	}
+}
+
+// InjectRacing creates a Figure 1 shape: a second gateway starts
+// announcing an existing prefix while a weight policy on one PE
+// contradicts the local-pref order, making convergence order-dependent.
+func (w *WAN) InjectRacing(rng *rand.Rand) Fault {
+	p, owner := w.pickPrefix(rng)
+	// Find a second gateway (different region preferred).
+	var second string
+	for _, g := range w.Peers {
+		if g != owner {
+			second = g
+			break
+		}
+	}
+	if second == "" {
+		return Fault{}
+	}
+	pe1 := w.Snap[owner].BGP.Neighbors[0].PeerName
+	pe2 := w.Snap[second].BGP.Neighbors[0].PeerName
+	wanAS := w.Params.WANAS
+	ups := []config.Update{
+		{Device: second, Lines: []string{
+			fmt.Sprintf("router bgp %d", w.Snap[second].BGP.AS),
+			fmt.Sprintf(" network %s", p),
+		}},
+		{Device: pe1, Lines: []string{
+			"route-policy LPHI permit 10",
+			" set local-preference 300",
+			fmt.Sprintf("router bgp %d", wanAS),
+			fmt.Sprintf(" neighbor %s route-policy LPHI in", owner),
+		}},
+		{Device: pe2, Lines: []string{
+			"route-policy LPHI2 permit 10",
+			" set local-preference 500",
+			fmt.Sprintf("router bgp %d", wanAS),
+			fmt.Sprintf(" neighbor %s route-policy LPHI2 in", second),
+		}},
+	}
+	// The contradiction: pe2 prefers iBGP-learned copies via weight.
+	core2 := w.Snap[pe2].BGP.Neighbors[0].PeerName
+	ups = append(ups, config.Update{Device: pe2, Lines: []string{
+		"route-policy WHI permit 10",
+		" set weight 100",
+		fmt.Sprintf("router bgp %d", wanAS),
+		fmt.Sprintf(" neighbor %s route-policy WHI in", core2),
+	}})
+	return Fault{
+		Kind:        FaultRacing,
+		Updates:     ups,
+		Description: fmt.Sprintf("second announcement of %s from %s with contradictory weight policy on %s", p, second, pe2),
+		Prefix:      p,
+		Nodes:       []string{pe1, pe2, second},
+	}
+}
+
+// InjectIPConflict reproduces the §7.2 audit case: a prefix already owned
+// by one gateway is configured on another router (a mis-assigned address),
+// so traffic intended for the owner is attracted elsewhere.
+func (w *WAN) InjectIPConflict(rng *rand.Rand) Fault {
+	p, owner := w.pickPrefix(rng)
+	var other string
+	for _, g := range w.Peers {
+		if g != owner {
+			other = g
+			break
+		}
+	}
+	if other == "" {
+		return Fault{}
+	}
+	return Fault{
+		Kind: FaultIPConflict,
+		Updates: []config.Update{{Device: other, Lines: []string{
+			fmt.Sprintf("router bgp %d", w.Snap[other].BGP.AS),
+			fmt.Sprintf(" network %s", p),
+		}}},
+		Description: fmt.Sprintf("IP conflict: %s announced by both %s and %s", p, owner, other),
+		Prefix:      p,
+		Nodes:       []string{other},
+	}
+}
+
+// InjectRoleDrift breaks the equivalent-role property (§7.2): one member
+// of a PE redundancy group gains a local-pref rewrite its twin lacks.
+func (w *WAN) InjectRoleDrift(rng *rand.Rand) Fault {
+	groups := w.Net.NodeGroups()
+	var names []string
+	for g := range groups {
+		names = append(names, g)
+	}
+	if len(names) == 0 {
+		return Fault{}
+	}
+	sortStrings(names)
+	g := names[rng.Intn(len(names))]
+	member := w.Net.Node(groups[g][0]).Name
+	coreName := w.Snap[member].BGP.Neighbors[0].PeerName
+	return Fault{
+		Kind: FaultRoleDrift,
+		Updates: []config.Update{{Device: member, Lines: []string{
+			"route-policy DRIFT permit 10",
+			" set local-preference 250",
+			fmt.Sprintf("router bgp %d", w.Params.WANAS),
+			fmt.Sprintf(" neighbor %s route-policy DRIFT in", coreName),
+		}}},
+		Description: fmt.Sprintf("role drift: %s (group %s) prefers core routes its twin does not", member, g),
+		Nodes:       []string{member},
+	}
+}
+
+// InjectACLBlock installs a data-plane ACL on a PE that silently
+// blackholes one service prefix while the control plane stays intact.
+func (w *WAN) InjectACLBlock(rng *rand.Rand) Fault {
+	p, owner := w.pickPrefix(rng)
+	pe := w.Snap[owner].BGP.Neighbors[0].PeerName
+	coreName := w.Snap[pe].BGP.Neighbors[0].PeerName
+	return Fault{
+		Kind: FaultACLBlock,
+		Updates: []config.Update{{Device: pe, Lines: []string{
+			fmt.Sprintf("access-list OOPS deny any %s", p),
+			"access-list OOPS permit any any",
+			fmt.Sprintf("interface %s access-list OOPS in", coreName),
+		}}},
+		Description: fmt.Sprintf("ACL on %s blackholes %s from the core side", pe, p),
+		Prefix:      p,
+		Nodes:       []string{pe},
+	}
+}
+
+// RandomFault picks one of the fault classes uniformly.
+func (w *WAN) RandomFault(rng *rand.Rand) Fault {
+	switch AllFaultKinds[rng.Intn(len(AllFaultKinds))] {
+	case FaultStaticPref:
+		return w.InjectStaticPref(rng)
+	case FaultRacing:
+		return w.InjectRacing(rng)
+	case FaultIPConflict:
+		return w.InjectIPConflict(rng)
+	case FaultRoleDrift:
+		return w.InjectRoleDrift(rng)
+	default:
+		return w.InjectACLBlock(rng)
+	}
+}
+
+// BenignUpdate produces a harmless configuration change (a new prefix
+// announcement from an existing gateway), the background noise of the
+// Figure 7 campaign.
+func (w *WAN) BenignUpdate(rng *rand.Rand, seq int) ([]config.Update, netaddr.Prefix) {
+	gw := w.Peers[rng.Intn(len(w.Peers))]
+	p := netaddr.MustParse(fmt.Sprintf("172.%d.%d.0/24", (seq/256)%256, seq%256))
+	return []config.Update{{Device: gw, Lines: []string{
+		fmt.Sprintf("router bgp %d", w.Snap[gw].BGP.AS),
+		fmt.Sprintf(" network %s", p),
+	}}}, p
+}
+
+// CampaignMonth is one month of the two-year Figure 7 campaign: a batch of
+// updates, some of which are faults.
+type CampaignMonth struct {
+	Month   int
+	Benign  int
+	Faults  []Fault
+	Updates []config.Update
+}
+
+// Campaign generates months of update batches with a bursty fault count
+// (the paper correlates bursts with business events). Deterministic in the
+// WAN's seed and the month index.
+func (w *WAN) Campaign(months int) []CampaignMonth {
+	var out []CampaignMonth
+	seq := 0
+	for m := 0; m < months; m++ {
+		rng := rand.New(rand.NewSource(w.Params.Seed*1000 + int64(m)))
+		cm := CampaignMonth{Month: m + 1}
+		// Bursty: most months 0-3 faults, business-event months up to 9.
+		nFaults := rng.Intn(4)
+		if rng.Intn(6) == 0 {
+			nFaults += 3 + rng.Intn(7)
+		}
+		nBenign := 3 + rng.Intn(5)
+		for i := 0; i < nBenign; i++ {
+			ups, _ := w.BenignUpdate(rng, seq)
+			seq++
+			cm.Updates = append(cm.Updates, ups...)
+			cm.Benign++
+		}
+		for i := 0; i < nFaults; i++ {
+			f := w.RandomFault(rng)
+			if len(f.Updates) == 0 {
+				continue
+			}
+			cm.Faults = append(cm.Faults, f)
+			cm.Updates = append(cm.Updates, f.Updates...)
+		}
+		out = append(out, cm)
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

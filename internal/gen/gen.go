@@ -1,0 +1,299 @@
+// Package gen generates synthetic global WANs with the structure the paper
+// describes for Alibaba's network (§3.1): a single-AS backbone running
+// iBGP on top of IS-IS, provider-edge routers peering eBGP with external
+// gateways (DCNs and ISPs), metro (MAN) edges, multi-vendor devices, and
+// redundancy groups — deliberately asymmetric, since the paper stresses
+// that WANs lack the topology symmetry DC-targeted verifiers exploit.
+//
+// Everything is deterministic in the seed, so benchmarks and tests can
+// reproduce exact networks. The package also injects the misconfiguration
+// classes of §7 (static-preference flips, racing ambiguities, IP
+// conflicts, role drift, ACL blocks) for the Figure 7 campaign.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+// Params controls the generated WAN's shape.
+type Params struct {
+	Seed           int64
+	Regions        int
+	CoresPerRegion int
+	PEsPerRegion   int
+	MANsPerRegion  int
+	// PeersPerRegion external gateways (DCN/ISP) attached to PEs.
+	PeersPerRegion  int
+	PrefixesPerPeer int
+	// ExtraCoreLinks adds random inter-region chords (asymmetry).
+	ExtraCoreLinks int
+	WANAS          uint32
+}
+
+// Small is the 20-router subnet of §8.2 (Table 4).
+func Small() Params {
+	return Params{Seed: 1, Regions: 2, CoresPerRegion: 2, PEsPerRegion: 4,
+		MANsPerRegion: 1, PeersPerRegion: 2, PrefixesPerPeer: 2, ExtraCoreLinks: 1, WANAS: 64500}
+}
+
+// Medium is the 80-router subnet of §8.2 (Table 5).
+func Medium() Params {
+	return Params{Seed: 2, Regions: 4, CoresPerRegion: 3, PEsPerRegion: 10,
+		MANsPerRegion: 3, PeersPerRegion: 4, PrefixesPerPeer: 3, ExtraCoreLinks: 4, WANAS: 64500}
+}
+
+// Full approximates the entire WAN of Table 3: O(100) routers, O(1000)
+// links and a prefix per service.
+func Full() Params {
+	return Params{Seed: 3, Regions: 8, CoresPerRegion: 3, PEsPerRegion: 8,
+		MANsPerRegion: 4, PeersPerRegion: 5, PrefixesPerPeer: 4, ExtraCoreLinks: 10, WANAS: 64500}
+}
+
+// WAN is a generated network: topology plus configuration snapshot plus
+// bookkeeping for fault injection.
+type WAN struct {
+	Net    *topo.Network
+	Snap   config.Snapshot
+	Params Params
+	// PrefixOwners maps each announced prefix to its gateway router.
+	PrefixOwners map[netaddr.Prefix]string
+	// PEs, Cores, MANs, Peers list router names by role.
+	PEs, Cores, MANs, Peers []string
+
+	rng *rand.Rand
+}
+
+var vendors = []string{behavior.VendorAlpha, behavior.VendorBeta, behavior.VendorGamma}
+
+// Generate builds the WAN deterministically from the parameters.
+func Generate(p Params) (*WAN, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &WAN{
+		Net:          topo.NewNetwork(),
+		Snap:         config.Snapshot{},
+		Params:       p,
+		PrefixOwners: map[netaddr.Prefix]string{},
+		rng:          rng,
+	}
+	texts := map[string]string{}
+
+	vendorOf := func(i int) string { return vendors[i%len(vendors)] }
+	nodeIdx := 0
+	addNode := func(name string, as uint32, role topo.Role, region, group string) topo.NodeID {
+		id := w.Net.MustAddNode(topo.Node{
+			Name: name, AS: as, Vendor: vendorOf(nodeIdx), Role: role,
+			Region: region, Group: group,
+		})
+		nodeIdx++
+		return id
+	}
+
+	// Routers.
+	var coreIDs [][]topo.NodeID
+	var peIDs [][]topo.NodeID
+	var manIDs [][]topo.NodeID
+	for r := 0; r < p.Regions; r++ {
+		region := fmt.Sprintf("reg%d", r)
+		var cs, ps, ms []topo.NodeID
+		for c := 0; c < p.CoresPerRegion; c++ {
+			name := fmt.Sprintf("core-r%d-%d", r, c)
+			cs = append(cs, addNode(name, p.WANAS, topo.RoleCore, region, ""))
+			w.Cores = append(w.Cores, name)
+		}
+		for i := 0; i < p.PEsPerRegion; i++ {
+			name := fmt.Sprintf("pe-r%d-%d", r, i)
+			group := fmt.Sprintf("pe-grp-r%d-%d", r, i/2)
+			ps = append(ps, addNode(name, p.WANAS, topo.RolePE, region, group))
+			w.PEs = append(w.PEs, name)
+		}
+		for i := 0; i < p.MANsPerRegion; i++ {
+			name := fmt.Sprintf("man-r%d-%d", r, i)
+			ms = append(ms, addNode(name, p.WANAS, topo.RoleMAN, region, ""))
+			w.MANs = append(w.MANs, name)
+		}
+		coreIDs = append(coreIDs, cs)
+		peIDs = append(peIDs, ps)
+		manIDs = append(manIDs, ms)
+	}
+
+	// Intra-region links: cores pairwise, every PE/MAN to two cores, a few
+	// PE-PE chords.
+	for r := 0; r < p.Regions; r++ {
+		cs := coreIDs[r]
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				w.Net.MustAddLink(cs[i], cs[j], 10)
+			}
+		}
+		for i, pe := range peIDs[r] {
+			w.Net.MustAddLink(pe, cs[i%len(cs)], 10+uint32(rng.Intn(10)))
+			w.Net.MustAddLink(pe, cs[(i+1)%len(cs)], 10+uint32(rng.Intn(10)))
+		}
+		for i, man := range manIDs[r] {
+			w.Net.MustAddLink(man, cs[i%len(cs)], 20+uint32(rng.Intn(10)))
+			if len(cs) > 1 {
+				w.Net.MustAddLink(man, cs[(i+1)%len(cs)], 20+uint32(rng.Intn(10)))
+			}
+		}
+		if len(peIDs[r]) >= 2 && rng.Intn(2) == 0 {
+			w.Net.MustAddLink(peIDs[r][0], peIDs[r][1], 30)
+		}
+	}
+	// Inter-region: core ring plus random chords (asymmetric mesh).
+	for r := 0; r < p.Regions; r++ {
+		next := (r + 1) % p.Regions
+		if p.Regions > 1 && !(p.Regions == 2 && r == 1) {
+			w.Net.MustAddLink(coreIDs[r][0], coreIDs[next][0], 40+uint32(rng.Intn(20)))
+			if p.CoresPerRegion > 1 {
+				w.Net.MustAddLink(coreIDs[r][1], coreIDs[next][1%p.CoresPerRegion], 40+uint32(rng.Intn(20)))
+			}
+		}
+	}
+	for i := 0; i < p.ExtraCoreLinks && p.Regions > 1; i++ {
+		r1, r2 := rng.Intn(p.Regions), rng.Intn(p.Regions)
+		if r1 == r2 {
+			continue
+		}
+		a := coreIDs[r1][rng.Intn(p.CoresPerRegion)]
+		b := coreIDs[r2][rng.Intn(p.CoresPerRegion)]
+		w.Net.MustAddLink(a, b, 40+uint32(rng.Intn(30)))
+	}
+
+	// External peers: each attaches to two PEs of its region and announces
+	// service prefixes.
+	peerAS := uint32(65001)
+	prefixByte := 0
+	var peerAttach = map[string][]string{} // peer -> attached PE names
+	var peerPrefixes = map[string][]netaddr.Prefix{}
+	for r := 0; r < p.Regions; r++ {
+		for i := 0; i < p.PeersPerRegion; i++ {
+			name := fmt.Sprintf("gw-r%d-%d", r, i)
+			id := addNode(name, peerAS, topo.RolePeer, fmt.Sprintf("reg%d", r), "")
+			w.Peers = append(w.Peers, name)
+			// Dual-home each gateway onto one PE redundancy group (the
+			// pair 2j, 2j+1), so group members really are equivalent
+			// roles — the invariant the §7.2 audit checks.
+			pe1 := peIDs[r][(2*i)%len(peIDs[r])]
+			pe2 := peIDs[r][(2*i+1)%len(peIDs[r])]
+			w.Net.MustAddLink(id, pe1, 10)
+			if pe2 != pe1 {
+				w.Net.MustAddLink(id, pe2, 10)
+			}
+			peerAttach[name] = []string{w.Net.Node(pe1).Name, w.Net.Node(pe2).Name}
+			for k := 0; k < p.PrefixesPerPeer; k++ {
+				pfx := netaddr.MustParse(fmt.Sprintf("10.%d.%d.0/24", prefixByte/256, prefixByte%256))
+				prefixByte++
+				peerPrefixes[name] = append(peerPrefixes[name], pfx)
+				w.PrefixOwners[pfx] = name
+			}
+			peerAS++
+		}
+	}
+
+	// Configurations.
+	regionComm := func(r int) string { return fmt.Sprintf("%d:%d", p.WANAS%65536, 100+r) }
+	for r := 0; r < p.Regions; r++ {
+		// Cores: route reflectors. Clients: all PEs and MANs of the
+		// region; cores of all regions full-mesh.
+		for _, cid := range coreIDs[r] {
+			name := w.Net.Node(cid).Name
+			t := fmt.Sprintf("hostname %s\nvendor %s\nrouter bgp %d\n", name, w.Net.Node(cid).Vendor, p.WANAS)
+			for rr := 0; rr < p.Regions; rr++ {
+				for _, oc := range coreIDs[rr] {
+					if oc == cid {
+						continue
+					}
+					t += fmt.Sprintf(" neighbor %s remote-as %d\n", w.Net.Node(oc).Name, p.WANAS)
+				}
+			}
+			for _, pe := range peIDs[r] {
+				t += fmt.Sprintf(" neighbor %s remote-as %d\n neighbor %s route-reflector-client\n",
+					w.Net.Node(pe).Name, p.WANAS, w.Net.Node(pe).Name)
+			}
+			for _, man := range manIDs[r] {
+				// MAN edges are VPN peers of the cores (the paper's
+				// "announcing iBGP updates to VPN peers" — where the
+				// self-next-hop VSB lives).
+				t += fmt.Sprintf(" neighbor %s remote-as %d\n neighbor %s route-reflector-client\n neighbor %s vpn\n",
+					w.Net.Node(man).Name, p.WANAS, w.Net.Node(man).Name, w.Net.Node(man).Name)
+			}
+			t += "router isis\n level 2\n"
+			texts[name] = t
+		}
+		// PEs: eBGP to attached gateways, iBGP to region cores with
+		// next-hop-self, ingress tagging policy.
+		for _, pid := range peIDs[r] {
+			name := w.Net.Node(pid).Name
+			t := fmt.Sprintf("hostname %s\nvendor %s\nrouter bgp %d\n", name, w.Net.Node(pid).Vendor, p.WANAS)
+			for _, cid := range coreIDs[r] {
+				t += fmt.Sprintf(" neighbor %s remote-as %d\n neighbor %s next-hop-self\n",
+					w.Net.Node(cid).Name, p.WANAS, w.Net.Node(cid).Name)
+			}
+			for _, peer := range w.Peers {
+				for _, pe := range peerAttach[peer] {
+					if pe != name {
+						continue
+					}
+					gw, _ := w.Net.NodeByName(peer)
+					t += fmt.Sprintf(" neighbor %s remote-as %d\n neighbor %s route-policy TAG in\n",
+						peer, gw.AS, peer)
+				}
+			}
+			t += "router isis\n level 2\n"
+			t += "route-policy TAG permit 10\n set community add " + regionComm(r) + "\n"
+			texts[name] = t
+		}
+		// MANs: iBGP clients only.
+		for _, mid := range manIDs[r] {
+			name := w.Net.Node(mid).Name
+			t := fmt.Sprintf("hostname %s\nvendor %s\nrouter bgp %d\n", name, w.Net.Node(mid).Vendor, p.WANAS)
+			for _, cid := range coreIDs[r] {
+				t += fmt.Sprintf(" neighbor %s remote-as %d\n", w.Net.Node(cid).Name, p.WANAS)
+			}
+			t += "router isis\n level 2\n"
+			texts[name] = t
+		}
+	}
+	// External gateways: announce their prefixes over eBGP to the PEs.
+	for _, peer := range w.Peers {
+		gw, _ := w.Net.NodeByName(peer)
+		t := fmt.Sprintf("hostname %s\nvendor %s\nrouter bgp %d\n", peer, gw.Vendor, gw.AS)
+		for _, pfx := range peerPrefixes[peer] {
+			t += fmt.Sprintf(" network %s\n", pfx)
+		}
+		for _, pe := range peerAttach[peer] {
+			t += fmt.Sprintf(" neighbor %s remote-as %d\n", pe, p.WANAS)
+		}
+		texts[peer] = t
+	}
+
+	for name, text := range texts {
+		d, err := config.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("gen: config for %s: %w\n%s", name, err, text)
+		}
+		w.Snap[name] = d
+	}
+	// Sanity: every node configured.
+	for _, n := range w.Net.Nodes() {
+		if _, ok := w.Snap[n.Name]; !ok {
+			return nil, fmt.Errorf("gen: node %s has no config", n.Name)
+		}
+	}
+	return w, nil
+}
+
+// Prefixes returns all announced prefixes in deterministic order.
+func (w *WAN) Prefixes() []netaddr.Prefix {
+	var t netaddr.Trie[bool]
+	for p := range w.PrefixOwners {
+		t.Insert(p, true)
+	}
+	return t.Prefixes()
+}

@@ -1,0 +1,369 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/core"
+	"hoyan/internal/dataplane"
+	"hoyan/internal/racing"
+	"hoyan/internal/topo"
+)
+
+func mustGen(t testing.TB, p Params) *WAN {
+	t.Helper()
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func assemble(t testing.TB, w *WAN) *core.Model {
+	t.Helper()
+	m, err := core.Assemble(w.Net, w.Snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSmallShape(t *testing.T) {
+	w := mustGen(t, Small())
+	n := w.Net.NumNodes()
+	if n < 16 || n > 24 {
+		t.Fatalf("small preset size %d, want ~20", n)
+	}
+	if len(w.Prefixes()) != 2*2*2 {
+		t.Fatalf("prefixes %d", len(w.Prefixes()))
+	}
+	if len(w.Net.NodeGroups()) == 0 {
+		t.Fatal("redundancy groups required for equivalence checks")
+	}
+	// Multi-vendor, as the paper requires.
+	seen := map[string]bool{}
+	for _, node := range w.Net.Nodes() {
+		seen[node.Vendor] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("vendors %v", seen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w1 := mustGen(t, Small())
+	w2 := mustGen(t, Small())
+	if w1.Net.NumNodes() != w2.Net.NumNodes() || w1.Net.NumLinks() != w2.Net.NumLinks() {
+		t.Fatal("same seed must give same topology")
+	}
+	for name, cfg := range w1.Snap {
+		if w2.Snap[name] == nil {
+			t.Fatalf("missing %s", name)
+		}
+		if got, want := len(cfg.BGP.Neighbors), len(w2.Snap[name].BGP.Neighbors); got != want {
+			t.Fatalf("%s neighbors %d vs %d", name, got, want)
+		}
+	}
+}
+
+func TestMediumShape(t *testing.T) {
+	w := mustGen(t, Medium())
+	n := w.Net.NumNodes()
+	if n < 70 || n > 95 {
+		t.Fatalf("medium preset size %d, want ~80", n)
+	}
+}
+
+// TestEndToEndReachability is the keystone integration test: every
+// announced prefix of the small WAN must reach every PE and MAN router
+// (control plane), and packets from every core must reach the gateway.
+func TestEndToEndReachability(t *testing.T) {
+	w := mustGen(t, Small())
+	m := assemble(t, w)
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	for _, p := range w.Prefixes() {
+		res, err := sim.Run(p)
+		if err != nil {
+			t.Fatalf("simulate %s: %v", p, err)
+		}
+		owner := w.PrefixOwners[p]
+		gw, _ := m.Resolve(owner)
+		for _, name := range append(append([]string{}, w.PEs...), w.Cores...) {
+			id, _ := m.Resolve(name)
+			if !res.Reachable(id, core.AnyRouteTo(p)) {
+				t.Fatalf("%s: no route at %s", p, name)
+			}
+		}
+		fib := dataplane.Build(res)
+		for _, name := range w.Cores {
+			id, _ := m.Resolve(name)
+			if !fib.Reachable(id, 0, p.Addr+1, gw) {
+				t.Fatalf("%s: packet from %s cannot reach %s", p, name, owner)
+			}
+		}
+	}
+}
+
+// TestFailureToleranceOfGeneratedWAN: gateways attach to two PEs, so
+// reachability at cores must survive at least one link failure.
+func TestFailureToleranceOfGeneratedWAN(t *testing.T) {
+	w := mustGen(t, Small())
+	m := assemble(t, w)
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	p := w.Prefixes()[0]
+	res, err := sim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreID, _ := m.Resolve(w.Cores[0])
+	min, flen := res.MinFailuresToLose(coreID, core.AnyRouteTo(p))
+	if min < 2 {
+		t.Fatalf("dual-homed prefix must survive 1 failure, min=%d", min)
+	}
+	if flen <= 0 {
+		t.Fatal("reachability formula length must be tracked")
+	}
+}
+
+func TestStaticPrefFaultChangesSelection(t *testing.T) {
+	w := mustGen(t, Small())
+	rng := rand.New(rand.NewSource(7))
+	f := w.InjectStaticPref(rng)
+	if f.Kind != FaultStaticPref || len(f.Updates) != 2 {
+		t.Fatalf("fault %+v", f)
+	}
+	pe := f.Nodes[0]
+
+	// Intended state: prep only.
+	snap1, err := w.Snap.Apply(f.Updates[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := core.Assemble(w.Net, snap1, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := core.NewSimulator(m1, core.DefaultOptions()).Run(f.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peID, _ := m1.Resolve(pe)
+	best1, ok := res1.BestUnder(peID, f.Prefix, nil)
+	if !ok || best1.Protocol.String() != "static" {
+		t.Fatalf("pre-flip best %v ok=%v", best1, ok)
+	}
+
+	// Faulty state: prep + flip.
+	snap2, err := w.Snap.Apply(f.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := core.Assemble(w.Net, snap2, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.NewSimulator(m2, core.DefaultOptions()).Run(f.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2, ok := res2.BestUnder(peID, f.Prefix, nil)
+	if !ok || best2.Protocol.String() != "ebgp" {
+		t.Fatalf("post-flip best %v ok=%v (the §7.1 violation)", best2, ok)
+	}
+}
+
+func TestRacingFaultDetected(t *testing.T) {
+	w := mustGen(t, Small())
+	rng := rand.New(rand.NewSource(11))
+	f := w.InjectRacing(rng)
+	if f.Kind != FaultRacing {
+		t.Fatalf("fault %+v", f)
+	}
+	snap, err := w.Snap.Apply(f.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Assemble(w.Net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	rep, err := racing.Detect(sim, f.Prefix, racing.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ambiguous {
+		t.Fatalf("injected racing fault must be ambiguous (%s)", f.Description)
+	}
+	// The clean network is not ambiguous for the same prefix.
+	cleanSim := core.NewSimulator(assemble(t, w), core.DefaultOptions())
+	cleanRep, err := racing.Detect(cleanSim, f.Prefix, racing.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanRep.Ambiguous {
+		t.Fatal("clean WAN must not be ambiguous")
+	}
+}
+
+func TestIPConflictFaultWidensOrigins(t *testing.T) {
+	w := mustGen(t, Small())
+	rng := rand.New(rand.NewSource(13))
+	f := w.InjectIPConflict(rng)
+	snap, err := w.Snap.Apply(f.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Assemble(w.Net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.AnnouncersOf(f.Prefix)); got != 2 {
+		t.Fatalf("conflicted prefix must have 2 announcers, got %d", got)
+	}
+	// Audit signal: some router now selects the wrong origin.
+	res, err := core.NewSimulator(m, core.DefaultOptions()).Run(f.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := m.Resolve(w.PrefixOwners[f.Prefix])
+	wrong := 0
+	for _, node := range m.Net.Nodes() {
+		if best, ok := res.BestUnder(node.ID, f.Prefix, nil); ok && best.OriginNode != owner && node.ID != best.OriginNode {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("conflict must divert at least one router to the wrong origin")
+	}
+}
+
+func TestRoleDriftFaultBreaksEquivalence(t *testing.T) {
+	w := mustGen(t, Small())
+	rng := rand.New(rand.NewSource(17))
+	f := w.InjectRoleDrift(rng)
+	if len(f.Updates) == 0 {
+		t.Fatal("no drift fault generated")
+	}
+	snap, err := w.Snap.Apply(f.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Assemble(w.Net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the drifted node's group twin.
+	drifted, _ := m.Resolve(f.Nodes[0])
+	var twin topo.NodeID = topo.NoNode
+	for _, members := range w.Net.NodeGroups() {
+		for i, mem := range members {
+			if mem == drifted {
+				twin = members[(i+1)%len(members)]
+			}
+		}
+	}
+	if twin == topo.NoNode {
+		t.Fatal("no twin")
+	}
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	broken := false
+	for _, p := range w.Prefixes() {
+		res, err := sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.EquivalentRoles(drifted, twin)) > 0 {
+			broken = true
+			break
+		}
+	}
+	if !broken {
+		t.Fatalf("drift on %s must break equivalence with its twin", f.Nodes[0])
+	}
+}
+
+func TestACLBlockFaultGapsDataPlane(t *testing.T) {
+	w := mustGen(t, Small())
+	rng := rand.New(rand.NewSource(19))
+	f := w.InjectACLBlock(rng)
+	snap, err := w.Snap.Apply(f.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Assemble(w.Net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewSimulator(m, core.DefaultOptions()).Run(f.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := dataplane.Build(res)
+	gw, _ := m.Resolve(w.PrefixOwners[f.Prefix])
+	gapped := false
+	for _, name := range w.Cores {
+		id, _ := m.Resolve(name)
+		if fib.RouteVsPacketGap(id, f.Prefix, gw) {
+			gapped = true
+			break
+		}
+	}
+	if !gapped {
+		t.Fatal("ACL block must create a route-vs-packet gap somewhere")
+	}
+}
+
+func TestCampaignDeterministicAndBursty(t *testing.T) {
+	w := mustGen(t, Small())
+	c1 := w.Campaign(24)
+	c2 := w.Campaign(24)
+	if len(c1) != 24 || len(c2) != 24 {
+		t.Fatal("24 months")
+	}
+	totalFaults := 0
+	maxMonth := 0
+	for i := range c1 {
+		if len(c1[i].Faults) != len(c2[i].Faults) || c1[i].Benign != c2[i].Benign {
+			t.Fatal("campaign must be deterministic")
+		}
+		totalFaults += len(c1[i].Faults)
+		if len(c1[i].Faults) > maxMonth {
+			maxMonth = len(c1[i].Faults)
+		}
+	}
+	if totalFaults == 0 {
+		t.Fatal("campaign must inject faults")
+	}
+	if maxMonth < 4 {
+		t.Fatalf("campaign must have bursty months, max=%d", maxMonth)
+	}
+	// All updates must apply cleanly.
+	for _, cm := range c1[:6] {
+		if _, err := w.Snap.Apply(cm.Updates); err != nil {
+			t.Fatalf("month %d updates do not apply: %v", cm.Month, err)
+		}
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Small()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateOnePrefixSmallWAN(b *testing.B) {
+	w := mustGen(b, Small())
+	m := assemble(b, w)
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	p := w.Prefixes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

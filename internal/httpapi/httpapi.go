@@ -1,0 +1,276 @@
+// Package httpapi exposes the verifier as an HTTP/JSON service — the
+// frontend of Figure 2 that operators call to check updates and run
+// audits. Handlers are stateless wrappers over a verification session;
+// the underlying simulator is serialized with a mutex (per-prefix results
+// are cached, so repeated queries are cheap).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/dataplane"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/racing"
+	"hoyan/internal/topo"
+)
+
+// Service serves verification queries for one network snapshot.
+type Service struct {
+	mu    sync.Mutex
+	net   *topo.Network
+	snap  config.Snapshot
+	model *core.Model
+	sim   *core.Simulator
+	k     int
+	cache map[netaddr.Prefix]*core.Result
+}
+
+// New builds a service with failure budget k (0 = 3).
+func New(net *topo.Network, snap config.Snapshot, k int) (*Service, error) {
+	if k == 0 {
+		k = 3
+	}
+	m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.K = k
+	return &Service{
+		net: net, snap: snap, model: m,
+		sim:   core.NewSimulator(m, opts),
+		k:     k,
+		cache: map[netaddr.Prefix]*core.Result{},
+	}, nil
+}
+
+// Handler returns the HTTP mux:
+//
+//	GET /v1/routers
+//	GET /v1/prefixes
+//	GET /v1/route?prefix=P&router=R      route reachability under failures
+//	GET /v1/packet?prefix=P&src=R        packet reachability to the gateway
+//	GET /v1/equivalence?a=R1&b=R2        role equivalence
+//	GET /v1/racing?prefix=P              update-racing ambiguity
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/routers", s.handleRouters)
+	mux.HandleFunc("GET /v1/prefixes", s.handlePrefixes)
+	mux.HandleFunc("GET /v1/route", s.handleRoute)
+	mux.HandleFunc("GET /v1/packet", s.handlePacket)
+	mux.HandleFunc("GET /v1/equivalence", s.handleEquivalence)
+	mux.HandleFunc("GET /v1/racing", s.handleRacing)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) result(p netaddr.Prefix) (*core.Result, error) {
+	if r, ok := s.cache[p]; ok {
+		return r, nil
+	}
+	r, err := s.sim.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[p] = r
+	return r, nil
+}
+
+func (s *Service) handleRouters(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, n := range s.net.Nodes() {
+		names = append(names, n.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"routers": names})
+}
+
+func (s *Service) handlePrefixes(w http.ResponseWriter, r *http.Request) {
+	var ps []string
+	for _, p := range s.model.AnnouncedPrefixes() {
+		ps = append(ps, p.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"prefixes": ps})
+}
+
+// RouteResponse is the JSON body of /v1/route.
+type RouteResponse struct {
+	Prefix      string   `json:"prefix"`
+	Router      string   `json:"router"`
+	Reachable   bool     `json:"reachable"`
+	MinFailures int      `json:"min_failures"` // -1: survives the budget
+	Tolerant    bool     `json:"tolerant"`
+	Witness     []string `json:"witness,omitempty"`
+	FormulaLen  int      `json:"formula_len"`
+}
+
+func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
+	prefix, router := r.URL.Query().Get("prefix"), r.URL.Query().Get("router")
+	p, err := netaddr.Parse(prefix)
+	if err != nil {
+		badRequest(w, "bad prefix: %v", err)
+		return
+	}
+	node, ok := s.net.NodeByName(router)
+	if !ok {
+		badRequest(w, "unknown router %q", router)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.result(p)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	pt := core.AnyRouteTo(p)
+	resp := RouteResponse{Prefix: prefix, Router: router, Reachable: res.Reachable(node.ID, pt)}
+	min, flen := res.MinFailuresToLose(node.ID, pt)
+	resp.FormulaLen = flen
+	switch {
+	case !resp.Reachable:
+		resp.MinFailures = 0
+	case min > s.k:
+		resp.MinFailures = -1
+		resp.Tolerant = true
+	default:
+		resp.MinFailures = min
+		if fs, ok := res.WitnessFailure(node.ID, pt); ok {
+			for _, l := range fs {
+				resp.Witness = append(resp.Witness, s.net.Link(l).Name)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PacketResponse is the JSON body of /v1/packet.
+type PacketResponse struct {
+	Prefix      string `json:"prefix"`
+	Src         string `json:"src"`
+	Gateway     string `json:"gateway"`
+	Reachable   bool   `json:"reachable"`
+	MinFailures int    `json:"min_failures"`
+}
+
+func (s *Service) handlePacket(w http.ResponseWriter, r *http.Request) {
+	prefix, src := r.URL.Query().Get("prefix"), r.URL.Query().Get("src")
+	p, err := netaddr.Parse(prefix)
+	if err != nil {
+		badRequest(w, "bad prefix: %v", err)
+		return
+	}
+	node, ok := s.net.NodeByName(src)
+	if !ok {
+		badRequest(w, "unknown router %q", src)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	anns := s.model.AnnouncersOf(p)
+	if len(anns) == 0 {
+		badRequest(w, "nobody announces %s", p)
+		return
+	}
+	res, err := s.result(p)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	fib := dataplane.Build(res)
+	pr := fib.PacketReach(node.ID, 0, p.Addr+1, anns[0])
+	f := s.sim.F
+	resp := PacketResponse{
+		Prefix: prefix, Src: src,
+		Gateway:   s.net.Node(anns[0]).Name,
+		Reachable: f.Eval(pr.Cond, nil),
+	}
+	min := f.MinFailuresToViolate(pr.Cond)
+	if min > s.k {
+		resp.MinFailures = -1
+	} else {
+		resp.MinFailures = min
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EquivalenceResponse is the JSON body of /v1/equivalence.
+type EquivalenceResponse struct {
+	A           string   `json:"a"`
+	B           string   `json:"b"`
+	Equivalent  bool     `json:"equivalent"`
+	Differences []string `json:"differences,omitempty"`
+}
+
+func (s *Service) handleEquivalence(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	na, ok1 := s.net.NodeByName(a)
+	nb, ok2 := s.net.NodeByName(b)
+	if !ok1 || !ok2 {
+		badRequest(w, "unknown router")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := EquivalenceResponse{A: a, B: b, Equivalent: true}
+	for _, p := range s.model.AnnouncedPrefixes() {
+		res, err := s.result(p)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		for _, d := range res.EquivalentRoles(na.ID, nb.ID) {
+			resp.Equivalent = false
+			resp.Differences = append(resp.Differences,
+				fmt.Sprintf("%s: %s (%s vs %s)", d.Prefix, d.Field, d.A, d.B))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RacingResponse is the JSON body of /v1/racing.
+type RacingResponse struct {
+	Prefix           string   `json:"prefix"`
+	Ambiguous        bool     `json:"ambiguous"`
+	Convergences     int      `json:"convergences"`
+	AmbiguousRouters []string `json:"ambiguous_routers,omitempty"`
+}
+
+func (s *Service) handleRacing(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	p, err := netaddr.Parse(prefix)
+	if err != nil {
+		badRequest(w, "bad prefix: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := racing.Detect(s.sim, p, racing.DefaultOptions())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	resp := RacingResponse{Prefix: prefix, Ambiguous: rep.Ambiguous, Convergences: len(rep.Solutions)}
+	for _, n := range rep.AmbiguousNodes {
+		resp.AmbiguousRouters = append(resp.AmbiguousRouters, s.net.Node(n).Name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,25 @@
+// Package logic implements the boolean reasoning substrate Hoyan uses for
+// topology conditions: hash-consed boolean formulas over binary variables
+// (link aliveness, route-selection indicators) and a BDD engine that answers
+// the questions the paper delegates to an SMT solver.
+//
+// Hoyan attaches a topology condition to every route update, RIB rule, FIB
+// rule and packet branch. The operations the verification engine needs are:
+//
+//   - building conditions incrementally with And / Or / Not,
+//   - deciding whether a condition is impossible (unsatisfiable),
+//   - deciding whether every satisfying assignment needs more than k link
+//     failures (the ">k failures" prune),
+//   - computing the minimum number of link failures that violates a
+//     reachability disjunction (MinFalse of the negation),
+//   - simplifying conditions to keep formulas short (memory optimization,
+//     §5.6 of the paper).
+//
+// All of these are pure boolean problems; a reduced ordered BDD with a
+// min-cost dynamic program answers them exactly, which is why this package
+// (plus package sat for model enumeration) is a faithful substitute for Z3.
+//
+// A Factory is not safe for concurrent use. The simulation engine creates
+// one Factory per prefix simulation, mirroring the paper's per-prefix
+// parallelism.
+package logic

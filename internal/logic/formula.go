@@ -1,0 +1,397 @@
+package logic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Var identifies a boolean variable. In topology conditions a Var is a link
+// aliveness bit: true means the link is up. Route-racing encodings allocate
+// Vars for route-selection indicators instead.
+type Var int32
+
+// F references a hash-consed formula node inside a Factory. The zero value
+// is the constant False; True is always node 1. F values from different
+// factories must not be mixed.
+type F int32
+
+// Reserved formula references present in every Factory.
+const (
+	False F = 0
+	True  F = 1
+)
+
+type kind uint8
+
+const (
+	kConst kind = iota
+	kVar
+	kNot
+	kAnd
+	kOr
+)
+
+type node struct {
+	k    kind
+	v    Var // kVar only
+	a, b F   // kNot uses a; kAnd/kOr use a,b
+	size int32
+}
+
+// Factory owns a universe of hash-consed formula nodes. Structural sharing
+// means equal formulas have equal F references, so equality checks and the
+// local simplifications in the constructors are O(1).
+type Factory struct {
+	nodes  []node
+	intern *idTable // structural hash-consing over nodes
+	vars   []F      // cache of variable nodes indexed by Var
+
+	bdd *bddSpace // lazily created solver space
+}
+
+type nodeKey struct {
+	k    kind
+	v    Var
+	a, b F
+}
+
+// NewFactory returns an empty formula universe containing only the
+// constants.
+func NewFactory() *Factory {
+	f := &Factory{
+		nodes:  make([]node, 2, 1024),
+		intern: newIDTable(1024),
+	}
+	f.nodes[False] = node{k: kConst, size: 1}
+	f.nodes[True] = node{k: kConst, size: 1}
+	return f
+}
+
+// NumNodes reports how many distinct formula nodes exist in the factory,
+// a proxy for the memory the conditions of one simulation consume.
+func (f *Factory) NumNodes() int { return len(f.nodes) }
+
+func (f *Factory) keyHash(key nodeKey) uint64 {
+	return hash3(uint64(key.k)<<32|uint64(uint32(key.v)), uint64(key.a), uint64(key.b))
+}
+
+func (f *Factory) nodeHash(id int32) uint64 {
+	n := f.nodes[id]
+	return f.keyHash(nodeKey{k: n.k, v: n.v, a: n.a, b: n.b})
+}
+
+func (f *Factory) mk(key nodeKey, size int32) F {
+	h := f.keyHash(key)
+	id, slot, ok := f.intern.lookup(h, func(n int32) bool {
+		nd := &f.nodes[n]
+		return nd.k == key.k && nd.v == key.v && nd.a == key.a && nd.b == key.b
+	})
+	if ok {
+		return F(id)
+	}
+	nid := int32(len(f.nodes))
+	f.nodes = append(f.nodes, node{k: key.k, v: key.v, a: key.a, b: key.b, size: size})
+	if f.intern.needsGrow() {
+		f.intern.grow(f.nodeHash)
+		_, slot, _ = f.intern.lookup(h, func(int32) bool { return false })
+	}
+	f.intern.insert(slot, nid)
+	return F(nid)
+}
+
+// Var returns the formula consisting of the single positive literal v.
+func (f *Factory) Var(v Var) F {
+	if int(v) < len(f.vars) && f.vars[v] != 0 {
+		return f.vars[v]
+	}
+	id := f.mk(nodeKey{k: kVar, v: v}, 1)
+	for int(v) >= len(f.vars) {
+		f.vars = append(f.vars, 0)
+	}
+	f.vars[v] = id
+	return id
+}
+
+// NotVar returns ¬v as a formula.
+func (f *Factory) NotVar(v Var) F { return f.Not(f.Var(v)) }
+
+// Not returns the negation of a, applying double-negation and constant
+// elimination.
+func (f *Factory) Not(a F) F {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if f.nodes[a].k == kNot {
+		return f.nodes[a].a
+	}
+	return f.mk(nodeKey{k: kNot, a: a}, f.nodes[a].size)
+}
+
+// And returns a∧b with local simplifications: identity, annihilator,
+// idempotence and complement detection (all O(1) thanks to hash-consing).
+func (f *Factory) And(a, b F) F {
+	if a == False || b == False {
+		return False
+	}
+	if a == True {
+		return b
+	}
+	if b == True {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if f.isComplement(a, b) {
+		return False
+	}
+	if a > b { // canonical order for sharing
+		a, b = b, a
+	}
+	return f.mk(nodeKey{k: kAnd, a: a, b: b}, f.sumSize(a, b))
+}
+
+// Or returns a∨b with the dual simplifications of And.
+func (f *Factory) Or(a, b F) F {
+	if a == True || b == True {
+		return True
+	}
+	if a == False {
+		return b
+	}
+	if b == False {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if f.isComplement(a, b) {
+		return True
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return f.mk(nodeKey{k: kOr, a: a, b: b}, f.sumSize(a, b))
+}
+
+// AndAll folds And over fs; the conjunction of nothing is True.
+func (f *Factory) AndAll(fs ...F) F {
+	acc := True
+	for _, x := range fs {
+		acc = f.And(acc, x)
+	}
+	return acc
+}
+
+// OrAll folds Or over fs; the disjunction of nothing is False.
+func (f *Factory) OrAll(fs ...F) F {
+	acc := False
+	for _, x := range fs {
+		acc = f.Or(acc, x)
+	}
+	return acc
+}
+
+func (f *Factory) sumSize(a, b F) int32 {
+	s := int64(f.nodes[a].size) + int64(f.nodes[b].size)
+	if s > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(s)
+}
+
+func (f *Factory) isComplement(a, b F) bool {
+	na, nb := f.nodes[a], f.nodes[b]
+	return (na.k == kNot && na.a == b) || (nb.k == kNot && nb.a == a)
+}
+
+// Len reports the syntactic length of the formula counted in literal
+// occurrences, the metric Figures 11 and 13 of the paper plot. Constants
+// count as one.
+func (f *Factory) Len(x F) int { return int(f.nodes[x].size) }
+
+// Vars returns the sorted set of variables occurring in x.
+func (f *Factory) Vars(x F) []Var {
+	seen := map[F]bool{}
+	set := map[Var]bool{}
+	var walk func(F)
+	walk = func(y F) {
+		if seen[y] {
+			return
+		}
+		seen[y] = true
+		n := f.nodes[y]
+		switch n.k {
+		case kVar:
+			set[n.v] = true
+		case kNot:
+			walk(n.a)
+		case kAnd, kOr:
+			walk(n.a)
+			walk(n.b)
+		}
+	}
+	walk(x)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Assignment maps variables to truth values. Variables absent from the map
+// are treated as true, matching the "all links up unless failed" convention.
+type Assignment map[Var]bool
+
+// Eval evaluates x under the assignment.
+func (f *Factory) Eval(x F, asn Assignment) bool {
+	switch x {
+	case False:
+		return false
+	case True:
+		return true
+	}
+	n := f.nodes[x]
+	switch n.k {
+	case kVar:
+		if val, ok := asn[n.v]; ok {
+			return val
+		}
+		return true
+	case kNot:
+		return !f.Eval(n.a, asn)
+	case kAnd:
+		return f.Eval(n.a, asn) && f.Eval(n.b, asn)
+	default: // kOr
+		return f.Eval(n.a, asn) || f.Eval(n.b, asn)
+	}
+}
+
+// String renders x in infix form, mainly for tests and debugging.
+func (f *Factory) String(x F) string {
+	var sb strings.Builder
+	f.render(&sb, x, 0)
+	return sb.String()
+}
+
+func (f *Factory) render(sb *strings.Builder, x F, depth int) {
+	switch x {
+	case False:
+		sb.WriteString("false")
+		return
+	case True:
+		sb.WriteString("true")
+		return
+	}
+	n := f.nodes[x]
+	switch n.k {
+	case kVar:
+		fmt.Fprintf(sb, "a%d", n.v)
+	case kNot:
+		sb.WriteString("!")
+		if f.nodes[n.a].k == kAnd || f.nodes[n.a].k == kOr {
+			sb.WriteString("(")
+			f.render(sb, n.a, depth+1)
+			sb.WriteString(")")
+		} else {
+			f.render(sb, n.a, depth+1)
+		}
+	case kAnd, kOr:
+		op := " & "
+		if n.k == kOr {
+			op = " | "
+		}
+		if depth > 0 {
+			sb.WriteString("(")
+		}
+		f.render(sb, n.a, depth+1)
+		sb.WriteString(op)
+		f.render(sb, n.b, depth+1)
+		if depth > 0 {
+			sb.WriteString(")")
+		}
+	}
+}
+
+// walkKind exposes structure to sibling packages (sat's Tseitin transform)
+// without exporting node internals.
+type walkKind uint8
+
+const (
+	// WalkConst .. WalkOr classify a node for Walk.
+	WalkConst walkKind = iota
+	WalkVar
+	WalkNot
+	WalkAnd
+	WalkOr
+)
+
+// Shape describes one formula node for external traversals: its kind, its
+// variable (for variable nodes) and its children (for connectives).
+type Shape struct {
+	Kind     walkKind
+	Value    bool // kConst only: true for the True node
+	Variable Var
+	A, B     F
+}
+
+// Shape returns the structural description of x.
+func (f *Factory) Shape(x F) Shape {
+	n := f.nodes[x]
+	switch n.k {
+	case kConst:
+		return Shape{Kind: WalkConst, Value: x == True}
+	case kVar:
+		return Shape{Kind: WalkVar, Variable: n.v}
+	case kNot:
+		return Shape{Kind: WalkNot, A: n.a}
+	case kAnd:
+		return Shape{Kind: WalkAnd, A: n.a, B: n.b}
+	default:
+		return Shape{Kind: WalkOr, A: n.a, B: n.b}
+	}
+}
+
+// Substitute replaces every occurrence of the mapped variables in x with
+// the given formulas, rebuilding the DAG bottom-up with memoization.
+// Used to re-express link-aliveness conditions over router-aliveness
+// variables (a router failure downs all its links), which turns router-
+// failure queries into the same MinFalse machinery.
+func (f *Factory) Substitute(x F, sub map[Var]F) F {
+	memo := map[F]F{}
+	var rec func(F) F
+	rec = func(y F) F {
+		switch y {
+		case False, True:
+			return y
+		}
+		if r, ok := memo[y]; ok {
+			return r
+		}
+		n := f.nodes[y]
+		var r F
+		switch n.k {
+		case kVar:
+			if repl, ok := sub[n.v]; ok {
+				r = repl
+			} else {
+				r = y
+			}
+		case kNot:
+			r = f.Not(rec(n.a))
+		case kAnd:
+			r = f.And(rec(n.a), rec(n.b))
+		default:
+			r = f.Or(rec(n.a), rec(n.b))
+		}
+		memo[y] = r
+		return r
+	}
+	return rec(x)
+}

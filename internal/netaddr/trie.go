@@ -1,0 +1,149 @@
+package netaddr
+
+// Trie is a binary prefix trie mapping prefixes to arbitrary values.
+// It supports exact insert/lookup, longest-prefix match, and ordered
+// traversal. The zero value is an empty trie.
+//
+// FIBs store per-prefix rule groups in a Trie; prefix-list policies use it
+// for containment queries.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Len reports the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under p, replacing any previous value.
+func (t *Trie[V]) Insert(p Prefix, val V) {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := p.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val = val
+	n.set = true
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	var zero V
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Len; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the value stored exactly at p, reporting whether it
+// existed. Interior nodes are left in place (tries here are short-lived).
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Len; i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val = zero
+	n.set = false
+	t.size--
+	return true
+}
+
+// Lookup performs longest-prefix match for the address, returning the
+// matched prefix and its value.
+func (t *Trie[V]) Lookup(addr uint32) (Prefix, V, bool) {
+	var (
+		bestP   Prefix
+		bestV   V
+		found   bool
+		current = t.root
+	)
+	p := Prefix{Addr: addr, Len: 32}
+	for i := uint8(0); current != nil; i++ {
+		if current.set {
+			bestP = Make(addr, i)
+			bestV = current.val
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		current = current.child[p.Bit(i)]
+	}
+	return bestP, bestV, found
+}
+
+// LookupAll returns every stored prefix containing addr, shortest first,
+// with their values. Used when ranking FIB rules by match specificity.
+func (t *Trie[V]) LookupAll(addr uint32) []PrefixValue[V] {
+	var out []PrefixValue[V]
+	p := Prefix{Addr: addr, Len: 32}
+	current := t.root
+	for i := uint8(0); current != nil; i++ {
+		if current.set {
+			out = append(out, PrefixValue[V]{Prefix: Make(addr, i), Value: current.val})
+		}
+		if i == 32 {
+			break
+		}
+		current = current.child[p.Bit(i)]
+	}
+	return out
+}
+
+// PrefixValue pairs a stored prefix with its value.
+type PrefixValue[V any] struct {
+	Prefix Prefix
+	Value  V
+}
+
+// Walk visits every stored prefix in lexicographic (address, length) trie
+// order. Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	var rec func(n *trieNode[V], p Prefix) bool
+	rec = func(n *trieNode[V], p Prefix) bool {
+		if n == nil {
+			return true
+		}
+		if n.set && !fn(p, n.val) {
+			return false
+		}
+		if p.Len == 32 {
+			return true
+		}
+		lo, hi := p.Halves()
+		return rec(n.child[0], lo) && rec(n.child[1], hi)
+	}
+	rec(t.root, Prefix{})
+}
+
+// Prefixes returns all stored prefixes in walk order.
+func (t *Trie[V]) Prefixes() []Prefix {
+	out := make([]Prefix, 0, t.size)
+	t.Walk(func(p Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,212 @@
+package netaddr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParse("10.0.0.0/8"), "eight")
+	tr.Insert(MustParse("10.1.0.0/16"), "sixteen")
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Get(MustParse("10.0.0.0/8")); !ok || v != "eight" {
+		t.Fatal("exact get /8")
+	}
+	if _, ok := tr.Get(MustParse("10.0.0.0/9")); ok {
+		t.Fatal("no value at /9")
+	}
+	// Replace does not grow.
+	tr.Insert(MustParse("10.0.0.0/8"), "eight2")
+	if tr.Len() != 2 {
+		t.Fatal("replace must not grow")
+	}
+	if v, _ := tr.Get(MustParse("10.0.0.0/8")); v != "eight2" {
+		t.Fatal("replace value")
+	}
+}
+
+func TestTrieLookupLPM(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParse("0.0.0.0/0"), "default")
+	tr.Insert(MustParse("10.0.0.0/8"), "eight")
+	tr.Insert(MustParse("10.1.0.0/16"), "sixteen")
+
+	p, v, ok := tr.Lookup(MustParse("10.1.2.3").Addr)
+	if !ok || v != "sixteen" || p != MustParse("10.1.0.0/16") {
+		t.Fatalf("LPM got %v %q", p, v)
+	}
+	p, v, ok = tr.Lookup(MustParse("10.9.2.3").Addr)
+	if !ok || v != "eight" {
+		t.Fatalf("LPM fallback got %v %q", p, v)
+	}
+	_, v, ok = tr.Lookup(MustParse("11.0.0.1").Addr)
+	if !ok || v != "default" {
+		t.Fatalf("LPM default got %q ok=%v", v, ok)
+	}
+}
+
+func TestTrieLookupEmpty(t *testing.T) {
+	var tr Trie[int]
+	if _, _, ok := tr.Lookup(0); ok {
+		t.Fatal("empty trie must miss")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie[int]
+	p := MustParse("10.0.0.0/8")
+	tr.Insert(p, 1)
+	if !tr.Delete(p) || tr.Len() != 0 {
+		t.Fatal("delete existing")
+	}
+	if tr.Delete(p) {
+		t.Fatal("delete missing must report false")
+	}
+	if _, _, ok := tr.Lookup(p.Addr); ok {
+		t.Fatal("deleted prefix must not match")
+	}
+}
+
+func TestTrieLookupAll(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParse("0.0.0.0/0"), "d")
+	tr.Insert(MustParse("10.0.0.0/8"), "8")
+	tr.Insert(MustParse("10.1.0.0/16"), "16")
+	all := tr.LookupAll(MustParse("10.1.2.3").Addr)
+	if len(all) != 3 {
+		t.Fatalf("LookupAll = %v", all)
+	}
+	// Shortest first.
+	if all[0].Value != "d" || all[1].Value != "8" || all[2].Value != "16" {
+		t.Fatalf("order %v", all)
+	}
+}
+
+func TestTrieWalkOrderAndStop(t *testing.T) {
+	var tr Trie[int]
+	ps := []string{"10.0.0.0/8", "10.0.0.0/16", "192.168.0.0/16", "0.0.0.0/0"}
+	for i, s := range ps {
+		tr.Insert(MustParse(s), i)
+	}
+	var seen []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		seen = append(seen, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/16", "192.168.0.0/16"}
+	if len(seen) != len(want) {
+		t.Fatalf("walk %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", seen, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Walk(func(Prefix, int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// Property: trie LPM agrees with a linear scan over random prefix sets.
+func TestPropertyLPMAgreesWithLinearScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trie[int]
+		type entry struct {
+			p Prefix
+			v int
+		}
+		var entries []entry
+		byPrefix := map[Prefix]int{}
+		for i := 0; i < 30; i++ {
+			p := Make(rng.Uint32(), uint8(rng.Intn(33)))
+			byPrefix[p] = i
+			tr.Insert(p, i)
+		}
+		for p, v := range byPrefix {
+			entries = append(entries, entry{p, v})
+		}
+		for trial := 0; trial < 30; trial++ {
+			addr := rng.Uint32()
+			bestLen := -1
+			bestVal := 0
+			for _, e := range entries {
+				if e.p.Contains(addr) && int(e.p.Len) > bestLen {
+					bestLen = int(e.p.Len)
+					bestVal = e.v
+				}
+			}
+			p, v, ok := tr.Lookup(addr)
+			if (bestLen >= 0) != ok {
+				return false
+			}
+			if ok && (int(p.Len) != bestLen || v != bestVal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Prefixes() returns exactly the inserted set.
+func TestPropertyPrefixesRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trie[bool]
+		set := map[Prefix]bool{}
+		for i := 0; i < 40; i++ {
+			p := Make(rng.Uint32(), uint8(rng.Intn(33)))
+			set[p] = true
+			tr.Insert(p, true)
+		}
+		got := tr.Prefixes()
+		if len(got) != len(set) {
+			return false
+		}
+		strs := make([]string, 0, len(got))
+		for _, p := range got {
+			if !set[p] {
+				return false
+			}
+			strs = append(strs, p.String())
+		}
+		// Walk order must be deterministic/sorted by construction.
+		return sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].Addr != got[j].Addr {
+				return got[i].Addr < got[j].Addr
+			}
+			return got[i].Len < got[j].Len
+		}) && len(strs) == len(set)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	var tr Trie[int]
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		tr.Insert(Make(rng.Uint32(), uint8(8+rng.Intn(25))), i)
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

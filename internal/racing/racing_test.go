@@ -1,0 +1,194 @@
+package racing
+
+import (
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+func buildModel(t testing.TB, names []string, ases []uint32, links [][2]string, cfgs map[string]string) (*core.Model, *core.Simulator) {
+	t.Helper()
+	net := topo.NewNetwork()
+	for i, name := range names {
+		net.MustAddNode(topo.Node{Name: name, AS: ases[i], Vendor: behavior.VendorAlpha, Region: "r0"})
+	}
+	for _, l := range links {
+		a, _ := net.NodeByName(l[0])
+		b, _ := net.NodeByName(l[1])
+		net.MustAddLink(a.ID, b.ID, 10)
+	}
+	snap := config.Snapshot{}
+	for name, text := range cfgs {
+		d, err := config.Parse(text)
+		if err != nil {
+			t.Fatalf("config %s: %v", name, err)
+		}
+		snap[name] = d
+	}
+	m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, core.NewSimulator(m, core.DefaultOptions())
+}
+
+// figure1 builds the racing incident of Figure 1: A,B form AS 100 (iBGP);
+// C and D are AS 200 gateways both announcing 10.0.1.0/24. A prefers C's
+// route via local-pref 300, B raises D's to 500, and the "weight 0→100"
+// rule makes B prefer routes learned from A. (The paper draws the weight
+// rule as A's egress policy; weight is router-local so the effective place
+// in any real implementation is B's ingress from A, which is how we
+// configure it.)
+func figure1(t testing.TB) (*core.Model, *core.Simulator) {
+	return buildModel(t,
+		[]string{"A", "B", "C", "D"},
+		[]uint32{100, 100, 200, 200},
+		[][2]string{{"A", "B"}, {"C", "A"}, {"D", "B"}},
+		map[string]string{
+			"A": `hostname A
+vendor alpha
+router bgp 100
+ neighbor B remote-as 100
+ neighbor C remote-as 200
+ neighbor C route-policy LP300 in
+route-policy LP300 permit 10
+ set local-preference 300
+`,
+			"B": `hostname B
+vendor alpha
+router bgp 100
+ neighbor A remote-as 100
+ neighbor A route-policy W100 in
+ neighbor D remote-as 200
+ neighbor D route-policy LP500 in
+route-policy W100 permit 10
+ set weight 100
+route-policy LP500 permit 10
+ set local-preference 500
+`,
+			"C": `hostname C
+vendor alpha
+router bgp 200
+ neighbor A remote-as 100
+ network 10.0.1.0/24
+`,
+			"D": `hostname D
+vendor alpha
+router bgp 200
+ neighbor B remote-as 100
+ network 10.0.1.0/24
+`,
+		})
+}
+
+func TestFigure1RacingDetected(t *testing.T) {
+	m, sim := figure1(t)
+	rep, err := Detect(sim, netaddr.MustParse("10.0.1.0/24"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ambiguous {
+		t.Fatalf("Figure 1 configuration must be ambiguous; candidates: %v", rep.Candidates)
+	}
+	if len(rep.Solutions) != 2 {
+		t.Fatalf("expected exactly 2 stable convergences, got %d", len(rep.Solutions))
+	}
+	// Both A and B flip their selection between the two solutions.
+	a, _ := m.Resolve("A")
+	b, _ := m.Resolve("B")
+	found := map[topo.NodeID]bool{}
+	for _, n := range rep.AmbiguousNodes {
+		found[n] = true
+	}
+	if !found[a] || !found[b] {
+		t.Fatalf("A and B must be ambiguous, got %v", rep.AmbiguousNodes)
+	}
+	// In one solution A selects the C route; in the other the D route.
+	selA0, ok0 := rep.SelectedAt(0, a)
+	selA1, ok1 := rep.SelectedAt(1, a)
+	if !ok0 || !ok1 {
+		t.Fatal("A must select something in both solutions")
+	}
+	if selA0.Path[0] == selA1.Path[0] {
+		t.Fatalf("A's selection must flip origin: %v vs %v", selA0, selA1)
+	}
+}
+
+// TestFigure1FixedByConsistentPreference shows the repair: making B prefer
+// D consistently (dropping the weight rule) removes the ambiguity.
+func TestFigure1FixedByConsistentPreference(t *testing.T) {
+	m, _ := figure1(t)
+	// Remove the weight rule on B.
+	bID, _ := m.Resolve("B")
+	up := config.Update{Device: "B", Lines: []string{"no neighbor A route-policy W100 in"}}
+	nd, err := config.ApplyUpdate(m.Configs[bID], up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Configs[bID] = nd
+	m.Devices[bID].Cfg = nd
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	rep, err := Detect(sim, netaddr.MustParse("10.0.1.0/24"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ambiguous {
+		t.Fatalf("without the weight rule convergence must be deterministic; solutions %v", rep.Solutions)
+	}
+	// B must deterministically select D's route (local-pref 500).
+	sel, ok := rep.SelectedAt(0, bID)
+	if !ok {
+		t.Fatal("B selects something")
+	}
+	d, _ := m.Resolve("D")
+	if sel.Path[0] != d {
+		t.Fatalf("B must select D's route, got %v", sel)
+	}
+}
+
+// TestSingleOriginNoAmbiguity: a plain single-announcer network has one
+// stable convergence.
+func TestSingleOriginNoAmbiguity(t *testing.T) {
+	_, sim := buildModel(t,
+		[]string{"A", "B", "C"},
+		[]uint32{100, 200, 300},
+		[][2]string{{"A", "B"}, {"B", "C"}, {"A", "C"}},
+		map[string]string{
+			"A": "hostname A\nvendor alpha\nrouter bgp 100\n neighbor B remote-as 200\n neighbor C remote-as 300\n network 10.0.0.0/8\n",
+			"B": "hostname B\nvendor alpha\nrouter bgp 200\n neighbor A remote-as 100\n neighbor C remote-as 300\n",
+			"C": "hostname C\nvendor alpha\nrouter bgp 300\n neighbor A remote-as 100\n neighbor B remote-as 200\n",
+		})
+	rep, err := Detect(sim, netaddr.MustParse("10.0.0.0/8"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ambiguous {
+		t.Fatalf("single origin must converge deterministically: %d solutions", len(rep.Solutions))
+	}
+	if len(rep.Solutions) != 1 {
+		t.Fatalf("expected one solution, got %d", len(rep.Solutions))
+	}
+}
+
+func TestNoCandidatesForUnknownPrefix(t *testing.T) {
+	_, sim := figure1(t)
+	rep, err := Detect(sim, netaddr.MustParse("99.0.0.0/8"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ambiguous || len(rep.Candidates) != 0 {
+		t.Fatal("unknown prefix yields no candidates")
+	}
+}
+
+func TestCandidateCapEnforced(t *testing.T) {
+	_, sim := figure1(t)
+	_, err := Detect(sim, netaddr.MustParse("10.0.1.0/24"), Options{MaxCandidates: 1, MaxSolutions: 2})
+	if err == nil {
+		t.Fatal("tiny candidate cap must abort the flood")
+	}
+}

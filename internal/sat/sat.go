@@ -1,0 +1,505 @@
+// Package sat implements a small conflict-driven SAT solver over CNF, a
+// Tseitin transform from the logic package's formula AST, model enumeration
+// (AllSAT, used by route-update-racing detection to find ambiguous
+// convergences), and a sequential-counter cardinality encoding (used by the
+// Minesweeper-style baseline to bound the number of failed links).
+//
+// Together with package logic this forms the stand-in for the Z3 solver the
+// paper uses: every formula Hoyan hands to Z3 is boolean, so a CDCL SAT
+// solver answers the same queries.
+package sat
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// Lit is a literal: positive values are variables, negative values their
+// negations. Variable numbering starts at 1, as in DIMACS.
+type Lit int32
+
+// Var returns the literal's variable.
+func (l Lit) Var() int32 {
+	if l < 0 {
+		return int32(-l)
+	}
+	return int32(l)
+}
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// CNF is a conjunction of clauses over NumVars variables.
+type CNF struct {
+	NumVars int32
+	Clauses []Clause
+}
+
+// NewCNF returns an empty CNF.
+func NewCNF() *CNF { return &CNF{} }
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (c *CNF) NewVar() Lit {
+	c.NumVars++
+	return Lit(c.NumVars)
+}
+
+// Reserve ensures variables 1..n exist.
+func (c *CNF) Reserve(n int32) {
+	if n > c.NumVars {
+		c.NumVars = n
+	}
+}
+
+// Add appends a clause. An empty clause makes the CNF trivially
+// unsatisfiable.
+func (c *CNF) Add(lits ...Lit) {
+	cl := make(Clause, len(lits))
+	copy(cl, lits)
+	c.Clauses = append(c.Clauses, cl)
+	for _, l := range cl {
+		c.Reserve(l.Var())
+	}
+}
+
+// NumClauses reports the number of clauses, the "formula size" metric used
+// when comparing against the Minesweeper baseline (Appendix F).
+func (c *CNF) NumClauses() int { return len(c.Clauses) }
+
+// Model is a satisfying assignment: Model[v] is the value of variable v
+// (index 0 unused).
+type Model []bool
+
+// ErrLimit is returned when a solver budget (propagations or models) is
+// exhausted before an answer is known.
+var ErrLimit = errors.New("sat: search budget exhausted")
+
+// Solver is a CDCL-style SAT solver with two-watched-literal propagation,
+// first-UIP clause learning and activity-based branching. A Solver is built
+// from a CNF and is single-use per Solve call but supports repeated calls
+// with added clauses (used by AllSAT blocking).
+type Solver struct {
+	numVars  int32
+	clauses  []Clause // problem + learned clauses
+	watches  [][]int32
+	assign   []int8 // 0 unassigned, +1 true, -1 false
+	level    []int32
+	reason   []int32 // clause index or -1
+	trail    []Lit
+	trailLim []int32
+	activity []float64
+	varInc   float64
+	budget   int64 // conflict budget; <0 means unlimited
+	deadline time.Time
+	// rootConflict records that the problem is unsatisfiable at decision
+	// level zero (empty clause or contradicting units).
+	rootConflict bool
+}
+
+const noReason = int32(-1)
+
+// NewSolver builds a solver over the CNF. The CNF may gain clauses later via
+// AddClause.
+func NewSolver(c *CNF) *Solver {
+	s := &Solver{
+		numVars:  c.NumVars,
+		budget:   -1,
+		varInc:   1,
+		assign:   make([]int8, c.NumVars+1),
+		level:    make([]int32, c.NumVars+1),
+		reason:   make([]int32, c.NumVars+1),
+		activity: make([]float64, c.NumVars+1),
+		watches:  make([][]int32, 2*(c.NumVars+1)),
+	}
+	for i := range s.reason {
+		s.reason[i] = noReason
+	}
+	for _, cl := range c.Clauses {
+		s.addClauseInternal(cl)
+	}
+	return s
+}
+
+// SetConflictBudget bounds the number of conflicts Solve may explore before
+// giving up with ErrLimit. Used by baselines to emulate timeouts.
+func (s *Solver) SetConflictBudget(n int64) { s.budget = n }
+
+// SetDeadline bounds Solve's wall time; exceeding it returns ErrLimit.
+// The check runs every few hundred decisions, so large propagations can
+// overshoot slightly.
+func (s *Solver) SetDeadline(d time.Time) { s.deadline = d }
+
+func (s *Solver) watchIdx(l Lit) int32 {
+	v := l.Var()
+	if l > 0 {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+func (s *Solver) addClauseInternal(cl Clause) bool {
+	// Deduplicate and detect tautology.
+	c2 := make(Clause, 0, len(cl))
+	seen := map[Lit]bool{}
+	for _, l := range cl {
+		if seen[l.Neg()] {
+			return true // tautology; always satisfied
+		}
+		if !seen[l] {
+			seen[l] = true
+			c2 = append(c2, l)
+		}
+	}
+	switch len(c2) {
+	case 0:
+		s.rootConflict = true
+		return false
+	case 1:
+		// Unit clause at root level.
+		s.clauses = append(s.clauses, c2)
+		if !s.enqueue(c2[0], int32(len(s.clauses)-1)) {
+			s.rootConflict = true
+			return false
+		}
+		return true
+	}
+	idx := int32(len(s.clauses))
+	s.clauses = append(s.clauses, c2)
+	s.watches[s.watchIdx(c2[0].Neg())] = append(s.watches[s.watchIdx(c2[0].Neg())], idx)
+	s.watches[s.watchIdx(c2[1].Neg())] = append(s.watches[s.watchIdx(c2[1].Neg())], idx)
+	return true
+}
+
+// AddClause adds a clause after construction (AllSAT blocking clauses).
+// It must be called only at decision level zero, i.e. between Solve calls.
+func (s *Solver) AddClause(cl Clause) {
+	for _, l := range cl {
+		if l.Var() > s.numVars {
+			panic("sat: literal beyond solver variables")
+		}
+	}
+	s.addClauseInternal(cl)
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) enqueue(l Lit, reason int32) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := l.Var()
+	if l > 0 {
+		s.assign[v] = 1
+	} else {
+		s.assign[v] = -1
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// propagate performs unit propagation over the trail, returning the index
+// of a conflicting clause or -1.
+func (s *Solver) propagate(qhead *int) int32 {
+	for *qhead < len(s.trail) {
+		l := s.trail[*qhead]
+		*qhead++
+		wl := s.watchIdx(l)
+		ws := s.watches[wl]
+		kept := ws[:0]
+		conflict := int32(-1)
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			cl := s.clauses[ci]
+			// Ensure the falsified literal is cl[1].
+			if cl[0] == l.Neg() {
+				cl[0], cl[1] = cl[1], cl[0]
+			}
+			if s.value(cl[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for i := 2; i < len(cl); i++ {
+				if s.value(cl[i]) != -1 {
+					cl[1], cl[i] = cl[i], cl[1]
+					s.watches[s.watchIdx(cl[1].Neg())] = append(s.watches[s.watchIdx(cl[1].Neg())], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, ci)
+			if !s.enqueue(cl[0], ci) {
+				conflict = ci
+				// Keep remaining watches.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[wl] = kept
+				return conflict
+			}
+		}
+		s.watches[wl] = kept
+	}
+	return -1
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause and the backtrack level.
+func (s *Solver) analyze(confl int32) (Clause, int32) {
+	learned := Clause{0} // slot 0 for the asserting literal
+	seen := make([]bool, s.numVars+1)
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	btLevel := int32(0)
+	c := s.clauses[confl]
+	for {
+		start := 0
+		if p != 0 {
+			start = 1
+		}
+		for _, q := range c[start:] {
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpActivity(v)
+				if s.level[v] == s.decisionLevel() {
+					counter++
+				} else {
+					learned = append(learned, q)
+					if s.level[v] > btLevel {
+						btLevel = s.level[v]
+					}
+				}
+			}
+		}
+		// Select next literal to look at.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		seen[p.Var()] = false
+		if counter == 0 {
+			break
+		}
+		c = s.clauses[s.reason[p.Var()]]
+		// For the reason clause, c[0] is the propagated literal p.
+		if c[0] != p {
+			// Reorder so c[0] == p (can happen after watch swaps).
+			for i, q := range c {
+				if q == p {
+					c[0], c[i] = c[i], c[0]
+					break
+				}
+			}
+		}
+	}
+	learned[0] = p.Neg()
+	// Move a literal of btLevel to slot 1 for watching.
+	if len(learned) > 1 {
+		mi := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].Var()] > s.level[learned[mi].Var()] {
+				mi = i
+			}
+		}
+		learned[1], learned[mi] = learned[mi], learned[1]
+	}
+	return learned, btLevel
+}
+
+func (s *Solver) bumpActivity(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *Solver) cancelUntil(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= int(lim); i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = 0
+		s.reason[v] = noReason
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+}
+
+func (s *Solver) pickBranchVar() int32 {
+	best := int32(0)
+	bestAct := -1.0
+	for v := int32(1); v <= s.numVars; v++ {
+		if s.assign[v] == 0 && s.activity[v] > bestAct {
+			bestAct = s.activity[v]
+			best = v
+		}
+	}
+	return best
+}
+
+// Solve searches for a model under the given assumptions. It returns
+// (model, true, nil) when satisfiable, (nil, false, nil) when unsatisfiable,
+// and a non-nil error when the conflict budget runs out.
+func (s *Solver) Solve(assumptions ...Lit) (Model, bool, error) {
+	if s.rootConflict {
+		return nil, false, nil
+	}
+	s.cancelUntil(0)
+	qhead := 0
+	if confl := s.propagate(&qhead); confl >= 0 {
+		s.rootConflict = true
+		return nil, false, nil
+	}
+	conflicts := int64(0)
+	// Apply assumptions as decisions.
+	for _, a := range assumptions {
+		if s.value(a) == -1 {
+			s.cancelUntil(0)
+			return nil, false, nil
+		}
+		if s.value(a) == 0 {
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.enqueue(a, noReason)
+			if confl := s.propagate(&qhead); confl >= 0 {
+				s.cancelUntil(0)
+				return nil, false, nil
+			}
+		}
+	}
+	assumptionLevel := s.decisionLevel()
+	decisions := int64(0)
+	for {
+		decisions++
+		if !s.deadline.IsZero() && decisions%256 == 0 && time.Now().After(s.deadline) {
+			s.cancelUntil(0)
+			return nil, false, ErrLimit
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			// All assigned: model found.
+			m := make(Model, s.numVars+1)
+			for i := int32(1); i <= s.numVars; i++ {
+				m[i] = s.assign[i] == 1
+			}
+			s.cancelUntil(0)
+			return m, true, nil
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.enqueue(Lit(-v), noReason) // negative polarity first: fewer failures
+		for {
+			confl := s.propagate(&qhead)
+			if confl < 0 {
+				break
+			}
+			conflicts++
+			if s.budget >= 0 && conflicts > s.budget {
+				s.cancelUntil(0)
+				return nil, false, ErrLimit
+			}
+			if s.decisionLevel() <= assumptionLevel {
+				s.cancelUntil(0)
+				return nil, false, nil
+			}
+			learned, btLevel := s.analyze(confl)
+			if btLevel < assumptionLevel {
+				btLevel = assumptionLevel
+			}
+			s.cancelUntil(btLevel)
+			qhead = len(s.trail)
+			if len(learned) == 1 {
+				if !s.enqueue(learned[0], noReason) {
+					s.cancelUntil(0)
+					return nil, false, nil
+				}
+			} else {
+				idx := int32(len(s.clauses))
+				s.clauses = append(s.clauses, learned)
+				s.watches[s.watchIdx(learned[0].Neg())] = append(s.watches[s.watchIdx(learned[0].Neg())], idx)
+				s.watches[s.watchIdx(learned[1].Neg())] = append(s.watches[s.watchIdx(learned[1].Neg())], idx)
+				if !s.enqueue(learned[0], idx) {
+					s.cancelUntil(0)
+					return nil, false, nil
+				}
+			}
+			s.varInc *= 1.05
+		}
+	}
+}
+
+// Solve is a convenience one-shot solve of a CNF.
+func Solve(c *CNF) (Model, bool, error) {
+	return NewSolver(c).Solve()
+}
+
+// AllModels enumerates up to max models of the CNF projected onto the given
+// variables (projection keeps enumeration tractable: two models that agree
+// on the projection count once). A nil projection enumerates over all
+// variables. Route-racing detection asks for max=2: more than one projected
+// model means the convergence is ambiguous.
+func AllModels(c *CNF, project []int32, max int) ([]Model, error) {
+	// Work on a copy so blocking clauses don't pollute the caller's CNF.
+	cp := &CNF{NumVars: c.NumVars, Clauses: append([]Clause(nil), c.Clauses...)}
+	if project == nil {
+		for v := int32(1); v <= c.NumVars; v++ {
+			project = append(project, v)
+		}
+	}
+	for _, v := range project {
+		cp.Reserve(v)
+	}
+	s := NewSolver(cp)
+	sort.Slice(project, func(i, j int) bool { return project[i] < project[j] })
+	var models []Model
+	for len(models) < max {
+		m, ok, err := s.Solve()
+		if err != nil {
+			return models, err
+		}
+		if !ok {
+			break
+		}
+		models = append(models, m)
+		// Block this projection.
+		block := make(Clause, 0, len(project))
+		for _, v := range project {
+			if m[v] {
+				block = append(block, Lit(-v))
+			} else {
+				block = append(block, Lit(v))
+			}
+		}
+		if len(block) == 0 {
+			break
+		}
+		s.AddClause(block)
+	}
+	return models, nil
+}

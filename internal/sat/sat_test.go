@@ -1,0 +1,343 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyCNFIsSat(t *testing.T) {
+	c := NewCNF()
+	_, ok, err := Solve(c)
+	if err != nil || !ok {
+		t.Fatalf("empty CNF must be SAT, ok=%v err=%v", ok, err)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	c := NewCNF()
+	c.Add(1)
+	c.Add(-2)
+	m, ok, err := Solve(c)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !m[1] || m[2] {
+		t.Fatalf("model %v violates units", m)
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	c := NewCNF()
+	c.Add(1)
+	c.Add(-1)
+	_, ok, err := Solve(c)
+	if err != nil || ok {
+		t.Fatalf("x ∧ ¬x must be UNSAT, ok=%v err=%v", ok, err)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	c := NewCNF()
+	c.Add(1, 2)
+	c.Add() // empty clause
+	_, ok, err := Solve(c)
+	if err != nil || ok {
+		t.Fatal("CNF with an empty clause must be UNSAT")
+	}
+}
+
+func TestTautologyClauseDropped(t *testing.T) {
+	c := NewCNF()
+	c.Add(1, -1)
+	c.Add(-2)
+	m, ok, err := Solve(c)
+	if err != nil || !ok || m[2] {
+		t.Fatalf("tautology clause must not constrain, m=%v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestPigeonhole3Into2(t *testing.T) {
+	// 3 pigeons, 2 holes: classic small UNSAT needing real search.
+	c := NewCNF()
+	// var p*2-1, p*2 = pigeon p in hole 1, 2.
+	at := func(p, h int32) Lit { return Lit((p-1)*2 + h) }
+	for p := int32(1); p <= 3; p++ {
+		c.Add(at(p, 1), at(p, 2))
+	}
+	for h := int32(1); h <= 2; h++ {
+		for p1 := int32(1); p1 <= 3; p1++ {
+			for p2 := p1 + 1; p2 <= 3; p2++ {
+				c.Add(at(p1, h).Neg(), at(p2, h).Neg())
+			}
+		}
+	}
+	_, ok, err := Solve(c)
+	if err != nil || ok {
+		t.Fatalf("PHP(3,2) must be UNSAT, ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	c := NewCNF()
+	c.Add(1, 2)
+	s := NewSolver(c)
+	if _, ok, _ := s.Solve(Lit(-1)); !ok {
+		t.Fatal("assuming ¬x1 still satisfiable via x2")
+	}
+	if _, ok, _ := s.Solve(Lit(-1), Lit(-2)); ok {
+		t.Fatal("assuming ¬x1 ∧ ¬x2 must be UNSAT")
+	}
+	// Solver stays reusable after assumption solves.
+	if _, ok, _ := s.Solve(); !ok {
+		t.Fatal("base problem still satisfiable")
+	}
+}
+
+func randomCNF(rng *rand.Rand, nvars, nclauses int) *CNF {
+	c := NewCNF()
+	c.Reserve(int32(nvars))
+	for i := 0; i < nclauses; i++ {
+		width := 1 + rng.Intn(3)
+		cl := make([]Lit, 0, width)
+		for j := 0; j < width; j++ {
+			v := int32(1 + rng.Intn(nvars))
+			if rng.Intn(2) == 0 {
+				cl = append(cl, Lit(v))
+			} else {
+				cl = append(cl, Lit(-v))
+			}
+		}
+		c.Add(cl...)
+	}
+	return c
+}
+
+func bruteForceSat(c *CNF) bool {
+	n := int(c.NumVars)
+	for mask := 0; mask < 1<<n; mask++ {
+		good := true
+		for _, cl := range c.Clauses {
+			clauseOK := false
+			for _, l := range cl {
+				val := mask&(1<<(l.Var()-1)) != 0
+				if l < 0 {
+					val = !val
+				}
+				if val {
+					clauseOK = true
+					break
+				}
+			}
+			if !clauseOK {
+				good = false
+				break
+			}
+		}
+		if good {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: solver agrees with brute force on random small CNFs, and any
+// model returned actually satisfies the clauses.
+func TestPropertySolverAgreesWithBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCNF(rng, 6, 14)
+		m, ok, err := Solve(c)
+		if err != nil {
+			return false
+		}
+		if ok != bruteForceSat(c) {
+			return false
+		}
+		if ok {
+			for _, cl := range c.Clauses {
+				sat := false
+				for _, l := range cl {
+					val := m[l.Var()]
+					if l < 0 {
+						val = !val
+					}
+					if val {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForceCount(c *CNF) int {
+	n := int(c.NumVars)
+	count := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		good := true
+		for _, cl := range c.Clauses {
+			clauseOK := false
+			for _, l := range cl {
+				val := mask&(1<<(l.Var()-1)) != 0
+				if l < 0 {
+					val = !val
+				}
+				if val {
+					clauseOK = true
+					break
+				}
+			}
+			if !clauseOK {
+				good = false
+				break
+			}
+		}
+		if good {
+			count++
+		}
+	}
+	return count
+}
+
+// Property: AllModels without projection enumerates exactly the brute-force
+// model count for small CNFs.
+func TestPropertyAllModelsCount(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCNF(rng, 5, 8)
+		want := bruteForceCount(c)
+		models, err := AllModels(c, nil, 1<<6)
+		if err != nil {
+			return false
+		}
+		return len(models) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllModelsProjection(t *testing.T) {
+	// x1 free, x2 forced true: projecting on {2} yields one model even
+	// though there are two total.
+	c := NewCNF()
+	c.Reserve(2)
+	c.Add(2)
+	models, err := AllModels(c, []int32{2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 {
+		t.Fatalf("projection on forced var must yield 1 model, got %d", len(models))
+	}
+	all, err := AllModels(c, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("full enumeration must yield 2 models, got %d", len(all))
+	}
+}
+
+func TestAllModelsMax(t *testing.T) {
+	c := NewCNF()
+	c.Reserve(4) // 16 models
+	models, err := AllModels(c, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 3 {
+		t.Fatalf("max must cap enumeration, got %d", len(models))
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard instance with a tiny budget must return ErrLimit.
+	c := NewCNF()
+	at := func(p, h int32) Lit { return Lit((p-1)*4 + h) }
+	for p := int32(1); p <= 5; p++ {
+		c.Add(at(p, 1), at(p, 2), at(p, 3), at(p, 4))
+	}
+	for h := int32(1); h <= 4; h++ {
+		for p1 := int32(1); p1 <= 5; p1++ {
+			for p2 := p1 + 1; p2 <= 5; p2++ {
+				c.Add(at(p1, h).Neg(), at(p2, h).Neg())
+			}
+		}
+	}
+	s := NewSolver(c)
+	s.SetConflictBudget(1)
+	_, _, err := s.Solve()
+	if err != ErrLimit {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+}
+
+func TestAtMostK(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		c := NewCNF()
+		lits := []Lit{}
+		for i := 0; i < 4; i++ {
+			lits = append(lits, c.NewVar())
+		}
+		c.AtMostK(lits, k)
+		models, err := AllModels(c, []int32{1, 2, 3, 4}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range models {
+			trues := 0
+			for v := int32(1); v <= 4; v++ {
+				if m[v] {
+					trues++
+				}
+			}
+			if trues > k {
+				t.Fatalf("k=%d: model with %d true literals", k, trues)
+			}
+		}
+		// Count should be sum_{i<=k} C(4,i).
+		want := 0
+		binom := []int{1, 4, 6, 4, 1}
+		for i := 0; i <= k && i <= 4; i++ {
+			want += binom[i]
+		}
+		if len(models) != want {
+			t.Fatalf("k=%d: got %d models, want %d", k, len(models), want)
+		}
+	}
+}
+
+func TestAtMostKZeroForcesAllFalse(t *testing.T) {
+	c := NewCNF()
+	l1, l2 := c.NewVar(), c.NewVar()
+	c.AtMostK([]Lit{l1, l2}, 0)
+	m, ok, err := Solve(c)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if m[l1.Var()] || m[l2.Var()] {
+		t.Fatal("k=0 must force all literals false")
+	}
+}
+
+func BenchmarkSolveRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCNF(rng, 60, 240)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

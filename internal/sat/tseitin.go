@@ -1,0 +1,167 @@
+package sat
+
+import "hoyan/internal/logic"
+
+// FromFormula converts a logic formula into CNF via the Tseitin transform,
+// returning the CNF and the literal equisatisfiable with the formula (the
+// caller typically asserts it with AddUnit). Variables of the formula map to
+// CNF variables var+offset+1 so that logic.Var(0) becomes CNF variable
+// offset+1.
+//
+// The mapping is recorded in VarMap so callers can decode models back to
+// logic assignments.
+type Translation struct {
+	CNF *CNF
+	// Root is the root literal of the first translated formula.
+	Root Lit
+	// Roots holds the root literal of each translated formula, parallel to
+	// the slice passed to TseitinAll.
+	Roots []Lit
+	// FirstInputVar is the CNF variable of logic.Var(0); input variable v
+	// maps to FirstInputVar + v.
+	FirstInputVar int32
+	maxInput      logic.Var
+}
+
+// InputLit returns the CNF literal for the positive logic variable v.
+func (t *Translation) InputLit(v logic.Var) Lit {
+	return Lit(t.FirstInputVar + int32(v))
+}
+
+// Decode converts a CNF model to a logic assignment over input variables.
+func (t *Translation) Decode(m Model) logic.Assignment {
+	asn := logic.Assignment{}
+	for v := logic.Var(0); v <= t.maxInput; v++ {
+		idx := t.FirstInputVar + int32(v)
+		if int(idx) < len(m) {
+			asn[v] = m[idx]
+		}
+	}
+	return asn
+}
+
+// Tseitin translates x (and all its subformulas) to CNF. The returned
+// translation's CNF does not yet assert the root; callers add it:
+//
+//	tr := sat.Tseitin(f, x)
+//	tr.CNF.Add(tr.Root)
+func Tseitin(f *logic.Factory, x F2) *Translation {
+	return TseitinAll(f, []F2{x})
+}
+
+// F2 aliases logic.F for brevity in this package's signatures.
+type F2 = logic.F
+
+// TseitinAll translates several formulas into one CNF with shared input
+// variables and shared subformula definitions. The i-th root literal
+// corresponds to xs[i]; no root is asserted. The input block covers the
+// variables occurring in xs; use TseitinInputs to reserve a wider block
+// (needed when projecting models onto variables a formula happens not to
+// mention).
+func TseitinAll(f *logic.Factory, xs []F2) *Translation {
+	var maxVar logic.Var
+	for _, x := range xs {
+		for _, v := range f.Vars(x) {
+			if v > maxVar {
+				maxVar = v
+			}
+		}
+	}
+	return TseitinInputs(f, xs, int(maxVar)+1)
+}
+
+// TseitinInputs is TseitinAll with an explicit input-variable count: CNF
+// variables 1..numInputs are logic.Var(0)..logic.Var(numInputs-1) even when
+// some never occur in the formulas, so auxiliary Tseitin variables never
+// collide with the input block.
+func TseitinInputs(f *logic.Factory, xs []F2, numInputs int) *Translation {
+	c := NewCNF()
+	first := int32(1)
+	c.Reserve(int32(numInputs))
+	tr := &Translation{CNF: c, FirstInputVar: first, maxInput: logic.Var(numInputs - 1)}
+
+	memo := map[F2]Lit{}
+	var enc func(F2) Lit
+	enc = func(y F2) Lit {
+		if l, ok := memo[y]; ok {
+			return l
+		}
+		var l Lit
+		sh := f.Shape(y)
+		switch sh.Kind {
+		case logic.WalkConst:
+			l = c.NewVar()
+			if sh.Value {
+				c.Add(l)
+			} else {
+				c.Add(l.Neg())
+			}
+		case logic.WalkVar:
+			l = tr.InputLit(sh.Variable)
+		case logic.WalkNot:
+			l = enc(sh.A).Neg()
+		case logic.WalkAnd:
+			a, b := enc(sh.A), enc(sh.B)
+			l = c.NewVar()
+			c.Add(l.Neg(), a)
+			c.Add(l.Neg(), b)
+			c.Add(l, a.Neg(), b.Neg())
+		case logic.WalkOr:
+			a, b := enc(sh.A), enc(sh.B)
+			l = c.NewVar()
+			c.Add(l, a.Neg())
+			c.Add(l, b.Neg())
+			c.Add(l.Neg(), a, b)
+		}
+		memo[y] = l
+		return l
+	}
+	for i, x := range xs {
+		r := enc(x)
+		if i == 0 {
+			tr.Root = r
+		}
+		tr.Roots = append(tr.Roots, r)
+	}
+	return tr
+}
+
+// AtMostK adds a sequential-counter encoding constraining at most k of the
+// given literals to be true. Used by the Minesweeper-style baseline to say
+// "at most k links failed" and by equivalence queries.
+func (c *CNF) AtMostK(lits []Lit, k int) {
+	n := len(lits)
+	if k >= n {
+		return
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k == 0 {
+		for _, l := range lits {
+			c.Add(l.Neg())
+		}
+		return
+	}
+	// s[i][j] ⇔ at least j+1 of lits[0..i] are true (j < k).
+	s := make([][]Lit, n)
+	for i := range s {
+		s[i] = make([]Lit, k)
+		for j := range s[i] {
+			s[i][j] = c.NewVar()
+		}
+	}
+	c.Add(lits[0].Neg(), s[0][0])
+	for j := 1; j < k; j++ {
+		c.Add(s[0][j].Neg())
+	}
+	for i := 1; i < n; i++ {
+		c.Add(lits[i].Neg(), s[i][0])
+		c.Add(s[i-1][0].Neg(), s[i][0])
+		for j := 1; j < k; j++ {
+			c.Add(lits[i].Neg(), s[i-1][j-1].Neg(), s[i][j])
+			c.Add(s[i-1][j].Neg(), s[i][j])
+		}
+		c.Add(lits[i].Neg(), s[i-1][k-1].Neg())
+	}
+}

@@ -1,0 +1,139 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hoyan/internal/logic"
+)
+
+func randomLogicFormula(f *logic.Factory, rng *rand.Rand, nvars, depth int) logic.F {
+	if depth == 0 || rng.Intn(4) == 0 {
+		v := logic.Var(rng.Intn(nvars))
+		if rng.Intn(2) == 0 {
+			return f.Var(v)
+		}
+		return f.NotVar(v)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return f.And(randomLogicFormula(f, rng, nvars, depth-1), randomLogicFormula(f, rng, nvars, depth-1))
+	case 1:
+		return f.Or(randomLogicFormula(f, rng, nvars, depth-1), randomLogicFormula(f, rng, nvars, depth-1))
+	default:
+		return f.Not(randomLogicFormula(f, rng, nvars, depth-1))
+	}
+}
+
+// Property: Tseitin + SAT solver agrees with the BDD engine on
+// satisfiability, and returned models satisfy the original formula.
+func TestPropertyTseitinAgreesWithBDD(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := logic.NewFactory()
+		x := randomLogicFormula(f, rng, 6, 4)
+		tr := Tseitin(f, x)
+		tr.CNF.Add(tr.Root)
+		m, ok, err := Solve(tr.CNF)
+		if err != nil {
+			return false
+		}
+		if ok != f.SAT(x) {
+			return false
+		}
+		if ok {
+			if !f.Eval(x, tr.Decode(m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTseitinConstants(t *testing.T) {
+	f := logic.NewFactory()
+	tr := Tseitin(f, logic.True)
+	tr.CNF.Add(tr.Root)
+	if _, ok, _ := Solve(tr.CNF); !ok {
+		t.Fatal("True must be satisfiable")
+	}
+	tr2 := Tseitin(f, logic.False)
+	tr2.CNF.Add(tr2.Root)
+	if _, ok, _ := Solve(tr2.CNF); ok {
+		t.Fatal("False must be unsatisfiable")
+	}
+}
+
+func TestTseitinAllSharesInputs(t *testing.T) {
+	f := logic.NewFactory()
+	a := f.Var(0)
+	b := f.Var(1)
+	x := f.And(a, b)
+	y := f.Or(a, f.Not(b))
+	tr := TseitinAll(f, []logic.F{x, y})
+	if len(tr.Roots) != 2 {
+		t.Fatalf("want 2 roots, got %d", len(tr.Roots))
+	}
+	// Assert both: a∧b and a∨¬b — satisfiable with a=b=true.
+	tr.CNF.Add(tr.Roots[0])
+	tr.CNF.Add(tr.Roots[1])
+	m, ok, err := Solve(tr.CNF)
+	if err != nil || !ok {
+		t.Fatalf("conjunction must be satisfiable, ok=%v err=%v", ok, err)
+	}
+	asn := tr.Decode(m)
+	if !asn[0] || !asn[1] {
+		t.Fatalf("expected a=b=true, got %v", asn)
+	}
+}
+
+func TestInputLitStable(t *testing.T) {
+	f := logic.NewFactory()
+	x := f.And(f.Var(3), f.Var(0))
+	tr := Tseitin(f, x)
+	if tr.InputLit(0) != Lit(tr.FirstInputVar) {
+		t.Fatal("logic.Var(0) must map to FirstInputVar")
+	}
+	if tr.InputLit(3) != Lit(tr.FirstInputVar+3) {
+		t.Fatal("input vars must map densely")
+	}
+}
+
+// Property: model counts projected on inputs agree with BDD-side brute
+// force (Tseitin adds auxiliary vars, so projection is essential).
+func TestPropertyProjectedCountMatchesBruteForce(t *testing.T) {
+	const nvars = 4
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := logic.NewFactory()
+		x := randomLogicFormula(f, rng, nvars, 3)
+		tr := TseitinInputs(f, []logic.F{x}, nvars)
+		tr.CNF.Add(tr.Roots[0])
+		var proj []int32
+		for v := logic.Var(0); v < nvars; v++ {
+			proj = append(proj, int32(tr.InputLit(v)))
+		}
+		models, err := AllModels(tr.CNF, proj, 1<<nvars+1)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for mask := 0; mask < 1<<nvars; mask++ {
+			asn := logic.Assignment{}
+			for v := 0; v < nvars; v++ {
+				asn[logic.Var(v)] = mask&(1<<v) != 0
+			}
+			if f.Eval(x, asn) {
+				want++
+			}
+		}
+		return len(models) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hoyan/internal/logic"
+	"hoyan/internal/netaddr"
+)
+
+func diamond(t testing.TB) (*Network, [4]NodeID, [4]LinkID) {
+	// The Figure 4 topology: A-C (L1), A-B (L2), B-C (L3), C-D (L4).
+	n := NewNetwork()
+	a := n.MustAddNode(Node{Name: "A", AS: 100})
+	b := n.MustAddNode(Node{Name: "B", AS: 200})
+	c := n.MustAddNode(Node{Name: "C", AS: 300})
+	d := n.MustAddNode(Node{Name: "D", AS: 400})
+	l1 := n.MustAddLink(a, c, 10)
+	l2 := n.MustAddLink(a, b, 10)
+	l3 := n.MustAddLink(b, c, 10)
+	l4 := n.MustAddLink(c, d, 10)
+	return n, [4]NodeID{a, b, c, d}, [4]LinkID{l1, l2, l3, l4}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := NewNetwork()
+	n.MustAddNode(Node{Name: "A"})
+	if _, err := n.AddNode(Node{Name: "A"}); err == nil {
+		t.Fatal("duplicate node name must fail")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustAddNode(Node{Name: "A"})
+	if _, err := n.AddLink(a, a, 1); err == nil {
+		t.Fatal("self link must fail")
+	}
+	if _, err := n.AddLink(a, 99, 1); err == nil {
+		t.Fatal("out-of-range endpoint must fail")
+	}
+}
+
+func TestLookupAndAdjacency(t *testing.T) {
+	n, ids, links := diamond(t)
+	if n.NumNodes() != 4 || n.NumLinks() != 4 {
+		t.Fatal("size")
+	}
+	nodeA, ok := n.NodeByName("A")
+	if !ok || nodeA.ID != ids[0] {
+		t.Fatal("NodeByName")
+	}
+	if _, ok := n.NodeByName("zzz"); ok {
+		t.Fatal("missing name must miss")
+	}
+	l, ok := n.LinkBetween(ids[0], ids[2])
+	if !ok || l != links[0] {
+		t.Fatal("LinkBetween A-C")
+	}
+	if _, ok := n.LinkBetween(ids[0], ids[3]); ok {
+		t.Fatal("A-D are not adjacent")
+	}
+	if n.Link(links[3]).Name != "C~D" {
+		t.Fatalf("link name %q", n.Link(links[3]).Name)
+	}
+	if got := len(n.Neighbors(ids[2])); got != 3 {
+		t.Fatalf("C has 3 neighbors, got %d", got)
+	}
+}
+
+func TestDefaultWeightAndRouterID(t *testing.T) {
+	n := NewNetwork()
+	a := n.MustAddNode(Node{Name: "A"})
+	b := n.MustAddNode(Node{Name: "B"})
+	l := n.MustAddLink(a, b, 0)
+	if n.Link(l).Weight != 10 {
+		t.Fatal("zero weight must default to 10")
+	}
+	if n.Node(a).RouterID == 0 || n.Node(a).RouterID == n.Node(b).RouterID {
+		t.Fatal("router IDs must be distinct and nonzero by default")
+	}
+}
+
+func TestAliveVarMatchesLinkID(t *testing.T) {
+	n, _, links := diamond(t)
+	for _, l := range links {
+		if n.AliveVar(l) != logic.Var(l) {
+			t.Fatal("aliveness variable must equal link id")
+		}
+	}
+}
+
+func TestNodeGroups(t *testing.T) {
+	n := NewNetwork()
+	n.MustAddNode(Node{Name: "A", Group: "pe-east"})
+	n.MustAddNode(Node{Name: "B", Group: "pe-east"})
+	n.MustAddNode(Node{Name: "C", Group: "lonely"})
+	n.MustAddNode(Node{Name: "D"})
+	groups := n.NodeGroups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups["pe-east"]) != 2 {
+		t.Fatal("pe-east must have 2 members")
+	}
+}
+
+func TestEnumerateFailuresCounts(t *testing.T) {
+	n, _, _ := diamond(t)
+	counts := map[int]int{0: 1, 1: 4, 2: 6, 3: 4, 4: 1}
+	for k, want := range counts {
+		got := 0
+		n.EnumerateFailures(k, func(FailureScenario) bool { got++; return true })
+		if got != want {
+			t.Fatalf("k=%d: %d scenarios, want C(4,%d)=%d", k, got, k, want)
+		}
+	}
+	// Out-of-range k yields nothing.
+	got := 0
+	n.EnumerateFailures(5, func(FailureScenario) bool { got++; return true })
+	if got != 0 {
+		t.Fatal("k>links yields nothing")
+	}
+	// Early stop.
+	got = 0
+	n.EnumerateFailures(1, func(FailureScenario) bool { got++; return false })
+	if got != 1 {
+		t.Fatal("early stop")
+	}
+}
+
+func TestFailureScenarioAssignment(t *testing.T) {
+	fs := FailureScenario{2, 5}
+	asn := fs.Assignment()
+	if asn[logic.Var(2)] || asn[logic.Var(5)] {
+		t.Fatal("failed links must be false")
+	}
+	if _, ok := asn[logic.Var(1)]; ok {
+		t.Fatal("untouched links must be absent (default up)")
+	}
+}
+
+func TestNodeFailureLinks(t *testing.T) {
+	n, ids, links := diamond(t)
+	ls := n.NodeFailureLinks(ids[2]) // C touches L1, L3, L4
+	want := map[LinkID]bool{links[0]: true, links[2]: true, links[3]: true}
+	if len(ls) != 3 {
+		t.Fatalf("links %v", ls)
+	}
+	for _, l := range ls {
+		if !want[l] {
+			t.Fatalf("unexpected link %d", l)
+		}
+	}
+}
+
+func TestConnectedUnder(t *testing.T) {
+	n, ids, links := diamond(t)
+	if !n.ConnectedUnder(ids[0], ids[3], nil) {
+		t.Fatal("fully-up network is connected")
+	}
+	// Fail L4: D is cut off.
+	asn := FailureScenario{links[3]}.Assignment()
+	if n.ConnectedUnder(ids[0], ids[3], asn) {
+		t.Fatal("failing C~D must disconnect A from D")
+	}
+	// Fail L1 only: A still reaches C via B.
+	asn = FailureScenario{links[0]}.Assignment()
+	if !n.ConnectedUnder(ids[0], ids[2], asn) {
+		t.Fatal("A reaches C via B after L1 fails")
+	}
+	if !n.ConnectedUnder(ids[0], ids[0], nil) {
+		t.Fatal("self connectivity")
+	}
+}
+
+// Property: ConnectedUnder is symmetric on undirected graphs.
+func TestPropertyConnectivitySymmetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		const nodes = 8
+		for i := 0; i < nodes; i++ {
+			n.MustAddNode(Node{Name: string(rune('a' + i)), Loopback: netaddr.Make(uint32(i)<<8, 32)})
+		}
+		for i := 0; i < 12; i++ {
+			a, b := NodeID(rng.Intn(nodes)), NodeID(rng.Intn(nodes))
+			if a != b {
+				n.MustAddLink(a, b, 10)
+			}
+		}
+		asn := logic.Assignment{}
+		for l := 0; l < n.NumLinks(); l++ {
+			asn[logic.Var(l)] = rng.Intn(3) > 0
+		}
+		for trial := 0; trial < 10; trial++ {
+			x, y := NodeID(rng.Intn(nodes)), NodeID(rng.Intn(nodes))
+			if n.ConnectedUnder(x, y, asn) != n.ConnectedUnder(y, x, asn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every k-failure enumeration emits distinct scenarios of size k.
+func TestPropertyEnumerationDistinct(t *testing.T) {
+	n, _, _ := diamond(t)
+	for k := 0; k <= 4; k++ {
+		seen := map[string]bool{}
+		n.EnumerateFailures(k, func(fs FailureScenario) bool {
+			if len(fs) != k {
+				t.Fatalf("scenario size %d != k=%d", len(fs), k)
+			}
+			key := ""
+			for _, l := range fs {
+				key += string(rune('0' + l))
+			}
+			if seen[key] {
+				t.Fatalf("duplicate scenario %v", fs)
+			}
+			seen[key] = true
+			return true
+		})
+	}
+}

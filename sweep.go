@@ -1,0 +1,164 @@
+package hoyan
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/core"
+)
+
+// PrefixSummary is the per-prefix outcome of a full sweep.
+type PrefixSummary struct {
+	Prefix string
+	// MinFailures is the smallest failure count that makes the prefix
+	// unreachable somewhere it should be reachable (-1 when within the
+	// budget nothing breaks it).
+	MinFailures int
+	// WeakestRouter is where that minimal break happens.
+	WeakestRouter string
+	// SimTime is the per-prefix simulation time (the Figure 8 sample).
+	SimTime time.Duration
+}
+
+// SweepReport aggregates a whole-network verification run.
+type SweepReport struct {
+	Prefixes []PrefixSummary
+	// Violations collects reachability losses (prefix unreachable at a
+	// BGP-speaking router even with all links up).
+	Violations []Violation
+	Duration   time.Duration
+	Workers    int
+}
+
+// Sweep verifies every announced prefix at every BGP router, sharded over
+// `workers` goroutines — the deployment mode of §8 ("50 threads ... Hoyan
+// could be run in a distributed way"). Each worker owns an independent
+// simulator (formula factory and IGP engine are not shared), so the sweep
+// is embarrassingly parallel like the paper's per-prefix parallelism.
+// workers <= 0 uses GOMAXPROCS.
+func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
+	if len(n.errs) > 0 {
+		return nil, n.errs[0]
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.K == 0 {
+		opts.K = 3
+	}
+	reg := opts.Profiles
+	if reg == nil {
+		reg = behavior.TrueProfiles()
+	}
+	model, err := core.Assemble(n.net, n.snap, reg)
+	if err != nil {
+		return nil, err
+	}
+	prefixes := model.AnnouncedPrefixes()
+	if len(prefixes) == 0 {
+		return &SweepReport{Workers: workers}, nil
+	}
+	if workers > len(prefixes) {
+		workers = len(prefixes)
+	}
+
+	copts := core.DefaultOptions()
+	copts.K = opts.K
+	if opts.DisablePruning {
+		copts.PruneOverK = false
+		copts.PruneImpossible = false
+	}
+	if opts.DisableSimplify {
+		copts.Simplify = false
+	}
+
+	start := time.Now()
+	type shardResult struct {
+		summaries  []PrefixSummary
+		violations []Violation
+		err        error
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			// Each worker re-assembles its own model so behavior devices
+			// and the simulator state are fully private to the goroutine.
+			m, err := core.Assemble(n.net, n.snap, reg)
+			if err != nil {
+				results[wkr].err = err
+				return
+			}
+			sim := core.NewSimulator(m, copts)
+			for i := wkr; i < len(prefixes); i += workers {
+				p := prefixes[i]
+				t0 := time.Now()
+				res, err := sim.Run(p)
+				if err != nil {
+					results[wkr].err = err
+					return
+				}
+				sum := PrefixSummary{
+					Prefix:      p.String(),
+					MinFailures: -1,
+					SimTime:     time.Since(t0),
+				}
+				for _, node := range m.Net.Nodes() {
+					if m.Configs[node.ID].BGP == nil {
+						continue
+					}
+					pt := core.AnyRouteTo(p)
+					if !res.Reachable(node.ID, pt) {
+						results[wkr].violations = append(results[wkr].violations, Violation{
+							Kind: "reachability", Prefix: p.String(), Router: node.Name,
+							Details: "no route with all links up",
+						})
+						continue
+					}
+					min, _ := res.MinFailuresToLose(node.ID, pt)
+					if min <= opts.K && (sum.MinFailures == -1 || min < sum.MinFailures) {
+						sum.MinFailures = min
+						sum.WeakestRouter = node.Name
+					}
+				}
+				results[wkr].summaries = append(results[wkr].summaries, sum)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+
+	rep := &SweepReport{Duration: time.Since(start), Workers: workers}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		rep.Prefixes = append(rep.Prefixes, r.summaries...)
+		rep.Violations = append(rep.Violations, r.violations...)
+	}
+	sort.Slice(rep.Prefixes, func(i, j int) bool { return rep.Prefixes[i].Prefix < rep.Prefixes[j].Prefix })
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		if rep.Violations[i].Prefix != rep.Violations[j].Prefix {
+			return rep.Violations[i].Prefix < rep.Violations[j].Prefix
+		}
+		return rep.Violations[i].Router < rep.Violations[j].Router
+	})
+	return rep, nil
+}
+
+// String summarizes the sweep for logs.
+func (r *SweepReport) String() string {
+	weak := 0
+	for _, p := range r.Prefixes {
+		if p.MinFailures >= 0 {
+			weak++
+		}
+	}
+	return fmt.Sprintf("sweep: %d prefixes on %d workers in %s (%d reachability violations, %d prefixes breakable within budget)",
+		len(r.Prefixes), r.Workers, r.Duration.Round(time.Millisecond), len(r.Violations), weak)
+}

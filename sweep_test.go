@@ -1,0 +1,93 @@
+package hoyan
+
+import (
+	"strings"
+	"testing"
+
+	"hoyan/internal/config"
+	"hoyan/internal/gen"
+)
+
+// wanNetwork converts a generated WAN into a public-API Network.
+func wanNetwork(t testing.TB) (*Network, *gen.WAN) {
+	t.Helper()
+	w, err := gen.Generate(gen.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetwork()
+	for _, node := range w.Net.Nodes() {
+		n.AddRouter(Router{Name: node.Name, AS: node.AS, Vendor: node.Vendor,
+			Region: node.Region, Group: node.Group})
+	}
+	for _, l := range w.Net.Links() {
+		n.AddLink(w.Net.Node(l.A).Name, w.Net.Node(l.B).Name, l.Weight)
+	}
+	for name, cfg := range w.Snap {
+		n.SetConfig(name, config.Write(cfg))
+	}
+	return n, w
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	n, w := wanNetwork(t)
+	serial, err := n.Sweep(Options{K: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := n.Sweep(Options{K: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Prefixes) != len(w.Prefixes()) {
+		t.Fatalf("sweep covered %d prefixes, want %d", len(serial.Prefixes), len(w.Prefixes()))
+	}
+	if len(serial.Prefixes) != len(parallel.Prefixes) {
+		t.Fatalf("serial %d vs parallel %d prefixes", len(serial.Prefixes), len(parallel.Prefixes))
+	}
+	for i := range serial.Prefixes {
+		s, p := serial.Prefixes[i], parallel.Prefixes[i]
+		if s.Prefix != p.Prefix || s.MinFailures != p.MinFailures || s.WeakestRouter != p.WeakestRouter {
+			t.Fatalf("worker count changed results: %+v vs %+v", s, p)
+		}
+	}
+	if len(serial.Violations) != len(parallel.Violations) {
+		t.Fatalf("violations differ: %d vs %d", len(serial.Violations), len(parallel.Violations))
+	}
+	if !strings.Contains(parallel.String(), "sweep:") {
+		t.Fatal("report rendering")
+	}
+}
+
+func TestSweepCleanWANHasNoViolations(t *testing.T) {
+	n, _ := wanNetwork(t)
+	rep, err := n.Sweep(Options{K: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean WAN must sweep clean: %v", rep.Violations)
+	}
+	// Every prefix is dual-homed, so nothing breaks at k=1.
+	for _, p := range rep.Prefixes {
+		if p.MinFailures == 1 {
+			t.Fatalf("dual-homed prefix breakable at 1 failure: %+v", p)
+		}
+		if p.SimTime <= 0 {
+			t.Fatal("per-prefix sim time must be recorded")
+		}
+	}
+}
+
+func TestSweepEmptyNetwork(t *testing.T) {
+	n := NewNetwork()
+	n.AddRouter(Router{Name: "lonely", AS: 1, Vendor: "alpha"})
+	n.SetConfig("lonely", "hostname lonely\n")
+	rep, err := n.Sweep(Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Prefixes) != 0 {
+		t.Fatal("no announcements, no summaries")
+	}
+}
