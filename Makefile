@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet plus the full suite under the race detector.
+# The dist/collector chaos tests run here too — they are deterministic
+# (seeded faultnet, byte-budget fault schedules), so no flake allowance.
+check: vet race

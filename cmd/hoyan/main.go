@@ -34,6 +34,8 @@ commands:
   update  -dir DIR -device R -lines "l1;l2"     what-if check of an incremental update
   check   -dir DIR -intents FILE [-k N]         verify an operator intent file
   sweep   -dir DIR -workers a:p,b:p [-k N]      distributed whole-network sweep
+          [-retries N] [-req-timeout D] [-dial-timeout D]
+          [-hedge-after D] [-partial]           fault-tolerance knobs
 `)
 	os.Exit(2)
 }
@@ -55,6 +57,12 @@ func main() {
 	lines := fs.String("lines", "", "update command lines, ';'-separated")
 	workers := fs.String("workers", "", "comma-separated worker addresses")
 	intents := fs.String("intents", "", "intent file path")
+	dopts := dist.DefaultOptions()
+	retries := fs.Int("retries", dopts.MaxAttempts, "sweep: per-prefix attempts before giving up")
+	reqTimeout := fs.Duration("req-timeout", dopts.RequestTimeout, "sweep: per-request deadline")
+	dialTimeout := fs.Duration("dial-timeout", dopts.DialTimeout, "sweep: per-dial deadline")
+	hedgeAfter := fs.Duration("hedge-after", 0, "sweep: re-dispatch stragglers to idle workers after this long (0 = off)")
+	partial := fs.Bool("partial", false, "sweep: report failed prefixes instead of aborting the run")
 	fs.Parse(os.Args[2:])
 
 	if *dir == "" {
@@ -263,7 +271,13 @@ func main() {
 		for _, p := range m.AnnouncedPrefixes() {
 			prefixes = append(prefixes, p.String())
 		}
-		coord := &dist.Coordinator{Addrs: strings.Split(*workers, ",")}
+		opts := dist.DefaultOptions()
+		opts.MaxAttempts = *retries
+		opts.RequestTimeout = *reqTimeout
+		opts.DialTimeout = *dialTimeout
+		opts.HedgeAfter = *hedgeAfter
+		opts.AllowPartial = *partial
+		coord := &dist.Coordinator{Addrs: strings.Split(*workers, ","), Opts: opts}
 		res, err := coord.Run(prefixes, *k)
 		if err != nil {
 			fail(err.Error())
@@ -277,9 +291,16 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("distributed sweep: %d prefixes over %d workers, %d violations\n",
-			len(res.ByPrefix), len(res.Assigned), bad)
-		if bad > 0 {
+		for _, f := range res.Failed {
+			fmt.Printf("[failed] %s after %d dispatches: %s\n", f.Prefix, f.Dispatches, f.LastError)
+		}
+		if res.Requeued+res.Retried+res.Hedged > 0 {
+			fmt.Printf("resilience: %d jobs re-queued, %d retried, %d hedged\n",
+				res.Requeued, res.Retried, res.Hedged)
+		}
+		fmt.Printf("distributed sweep: %d/%d prefixes over %d workers, %d violations\n",
+			len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), len(res.Assigned), bad)
+		if bad > 0 || len(res.Failed) > 0 {
 			os.Exit(1)
 		}
 	default:

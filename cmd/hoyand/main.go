@@ -7,14 +7,22 @@
 //
 // Endpoints: GET /v1/routers /v1/prefixes /v1/route /v1/packet
 // /v1/equivalence /v1/racing — see internal/httpapi.
+//
+// Both planes shut down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests get a drain window and collector connections are unblocked.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hoyan/internal/collector"
 	"hoyan/internal/core"
@@ -28,6 +36,8 @@ func main() {
 	httpAddr := flag.String("http", ":8080", "HTTP API listen address")
 	collAddr := flag.String("collector", "", "optional collector (ext-RIB/BMP) listen address")
 	k := flag.Int("k", 3, "failure budget")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop collector connections idle this long (0 = never)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
 	flag.Parse()
 
 	if *dir == "" {
@@ -40,6 +50,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	var coll *collector.Server
 	if *collAddr != "" {
 		oracle, err := device.NewOracle(topoNet, snap, core.DefaultOptions())
 		if err != nil {
@@ -51,9 +62,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hoyand:", err)
 			os.Exit(1)
 		}
-		srv := collector.NewServer(oracle)
+		coll = collector.NewServer(oracle)
+		coll.IdleTimeout = *idle
 		go func() {
-			if err := srv.Serve(ln); err != nil {
+			if err := coll.Serve(ln); err != nil {
 				fmt.Fprintln(os.Stderr, "hoyand: collector:", err)
 			}
 		}()
@@ -65,9 +77,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hoyand:", err)
 		os.Exit(1)
 	}
+	srv := &http.Server{
+		Addr:              *httpAddr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("hoyand: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if coll != nil {
+			coll.Close()
+		}
+		srv.Shutdown(ctx)
+	}()
+
 	fmt.Printf("verifier API listening on %s (%d routers, %d links, k=%d)\n",
 		*httpAddr, topoNet.NumNodes(), topoNet.NumLinks(), *k)
-	if err := http.ListenAndServe(*httpAddr, svc.Handler()); err != nil {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "hoyand:", err)
 		os.Exit(1)
 	}

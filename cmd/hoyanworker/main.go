@@ -2,6 +2,10 @@
 // network directory — the worker side of §8's "Hoyan could be run in a
 // distributed way". Point any number of these at the same network
 // directory and give their addresses to `hoyan sweep -workers`.
+//
+// The worker shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, unblocks idle coordinator connections, and lets in-flight
+// responses flush.
 package main
 
 import (
@@ -9,6 +13,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hoyan/internal/dist"
 	"hoyan/internal/gen"
@@ -17,6 +24,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "network directory (topology.txt + *.cfg)")
 	listen := flag.String("listen", ":8090", "listen address")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop coordinator connections idle this long (0 = never)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "hoyanworker: missing -dir")
@@ -34,6 +42,16 @@ func main() {
 	}
 	fmt.Printf("worker on %s (%d routers, %d links)\n", ln.Addr(), topoNet.NumNodes(), topoNet.NumLinks())
 	w := dist.NewWorker(topoNet, snap)
+	w.IdleTimeout = *idle
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("hoyanworker: %v: shutting down\n", sig)
+		w.Close()
+	}()
+
 	if err := w.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "hoyanworker:", err)
 		os.Exit(1)

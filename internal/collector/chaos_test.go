@@ -1,0 +1,205 @@
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"hoyan/internal/faultnet"
+	"hoyan/internal/netaddr"
+)
+
+// startFaultyServer serves the test oracle behind a fault-injecting
+// listener.
+func startFaultyServer(t *testing.T, cfg faultnet.Config) (addr string, stop func()) {
+	t.Helper()
+	srv := NewServer(newTestOracle(t))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faultnet.Wrap(ln, cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(fl) }()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// A server that drops connections mid-response must surface as a client
+// error (truncated response or connection error), never a hang or silent
+// short read.
+func TestClientSurvivesMidStreamDrop(t *testing.T) {
+	// The EXTRIB response is ~100 bytes; a 64-byte budget cuts it off
+	// after the request and the OK header have crossed.
+	addr, stop := startFaultyServer(t, faultnet.Config{DropAfterBytes: 64})
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close() // Close() would try to QUIT over the dead conn
+	c.Timeout = 2 * time.Second
+
+	if _, err := c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8")); err == nil {
+		t.Fatal("truncated response must error")
+	}
+}
+
+// A blackholed server (requests swallowed, no response ever) must trip
+// the client's request deadline rather than hang forever.
+func TestClientTimeoutOnBlackholedServer(t *testing.T) {
+	addr, stop := startFaultyServer(t, faultnet.Config{BlackholeReads: true})
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	c.Timeout = 100 * time.Millisecond
+
+	start := time.Now()
+	_, err = c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8"))
+	if err == nil {
+		t.Fatal("blackholed server must not produce a response")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline did not fire in time (%v)", d)
+	}
+}
+
+// DialWith validates each connection with a PING, so a server that
+// accepts and instantly drops connections is retried until a usable
+// connection comes back.
+func TestDialWithRetriesRefusedConnections(t *testing.T) {
+	addr, stop := startFaultyServer(t, faultnet.Config{RefuseFirst: 2})
+	defer stop()
+	c, err := DialWith(addr, DialOptions{Attempts: 4, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("DialWith must outlast 2 refused connections: %v", err)
+	}
+	defer c.Close()
+	routes, err := c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 {
+		t.Fatalf("routes %v", routes)
+	}
+}
+
+// DialWith gives up with the last error once the attempt budget is spent.
+func TestDialWithGivesUpOnDeadServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := DialWith(addr, DialOptions{Attempts: 2, Backoff: 5 * time.Millisecond, DialTimeout: time.Second}); err == nil {
+		t.Fatal("dead server must fail")
+	}
+}
+
+// Corrupted bytes on the wire must surface as protocol/parse errors, not
+// silently wrong route data.
+func TestCorruptedStreamSurfacesError(t *testing.T) {
+	// Every 5th byte the server reads or echoes back is flipped; either
+	// the request is mangled (server answers ERR) or the response is
+	// (client fails to parse). Both must be errors.
+	addr, stop := startFaultyServer(t, faultnet.Config{CorruptEvery: 5})
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	c.Timeout = 2 * time.Second
+
+	if _, err := c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8")); err == nil {
+		t.Fatal("corrupted exchange must error")
+	}
+}
+
+// Injected latency slows requests down but does not break them.
+func TestClientToleratesLatency(t *testing.T) {
+	addr, stop := startFaultyServer(t, faultnet.Config{Latency: 20 * time.Millisecond})
+	defer stop()
+	c, err := DialWith(addr, DialOptions{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	routes, err := c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 {
+		t.Fatalf("routes %v", routes)
+	}
+}
+
+// The server's idle timeout reaps connections that stop talking.
+func TestServerIdleTimeoutReapsConnection(t *testing.T) {
+	srv := NewServer(newTestOracle(t))
+	srv.IdleTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// An active connection works...
+	r := bufio.NewScanner(conn)
+	fmt.Fprintf(conn, "PING\n")
+	if !r.Scan() || r.Text() != "PONG" {
+		t.Fatalf("got %q", r.Text())
+	}
+	// ...but going silent past the idle timeout gets it reaped.
+	time.Sleep(200 * time.Millisecond)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if r.Scan() {
+		t.Fatalf("idle connection still served %q", r.Text())
+	}
+}
+
+// ErrProtocol classification still works through a faulty pipe: a
+// truncated count line is a protocol error, not a parse panic.
+func TestTruncatedResponseIsProtocolError(t *testing.T) {
+	addr, stop := startFaultyServer(t, faultnet.Config{DropAfterBytes: 40})
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	c.Timeout = 2 * time.Second
+	_, err = c.ExtRIB("b", netaddr.MustParse("10.0.0.0/8"))
+	if err == nil {
+		t.Fatal("must error")
+	}
+	// Depending on where the 40-byte budget lands this is either a
+	// connection error or an ErrProtocol truncation; both are fine, but
+	// an ErrProtocol must be classifiable with errors.Is.
+	if errors.Is(err, ErrProtocol) {
+		t.Logf("classified: %v", err)
+	}
+}

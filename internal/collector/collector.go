@@ -16,12 +16,17 @@
 //	<- OK <n>
 //	<- ROUTE ... (n lines)
 //
+//	-> PING
+//	<- PONG
+//
 //	-> QUIT
 //	<- BYE
 //
 // Errors: "ERR <message>". Unknown verbs are errors; the connection stays
 // usable. Fields never contain spaces (community lists are
-// comma-separated), so strings.Fields round-trips.
+// comma-separated), so strings.Fields round-trips. PING is a liveness
+// probe: DialWith uses it to detect connections that were accepted but
+// immediately dropped (a refusing or dying server) and retry the dial.
 package collector
 
 import (
@@ -32,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hoyan/internal/device"
 	"hoyan/internal/netaddr"
@@ -42,6 +48,10 @@ import (
 // Server serves oracle state over a listener.
 type Server struct {
 	oracle *device.Oracle
+
+	// IdleTimeout bounds the wait for the next request line on a client
+	// connection; zero waits forever. Set before Serve.
+	IdleTimeout time.Duration
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -95,7 +105,13 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
-	for r.Scan() {
+	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		if !r.Scan() {
+			return
+		}
 		line := strings.TrimSpace(r.Text())
 		if line == "" {
 			continue
@@ -106,6 +122,8 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintln(w, "BYE")
 			w.Flush()
 			return
+		case "PING":
+			fmt.Fprintln(w, "PONG")
 		case "EXTRIB":
 			if len(f) != 3 {
 				fmt.Fprintln(w, "ERR EXTRIB wants ROUTER PREFIX")
@@ -200,8 +218,11 @@ func writeRoute(w *bufio.Writer, r route.Route, m interface {
 // Client pulls oracle state over the wire.
 type Client struct {
 	conn net.Conn
-	r    *bufio.Scanner
+	r    *bufio.Reader
 	w    *bufio.Writer
+
+	// Timeout bounds one request round-trip; zero waits forever.
+	Timeout time.Duration
 }
 
 // Dial connects to a collector server.
@@ -210,15 +231,113 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// DialOptions tunes DialWith's resilience. Zero fields get defaults.
+type DialOptions struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout becomes the client's per-request Timeout
+	// (default 10s).
+	RequestTimeout time.Duration
+	// Attempts is the total number of dial attempts (default 3).
+	Attempts int
+	// Backoff is the base delay between attempts, doubled each retry
+	// (default 50ms).
+	Backoff time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.Attempts == 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// DialWith connects with bounded retries and per-request deadlines. Each
+// attempt is validated with a PING round-trip, so servers that accept and
+// immediately drop connections (crashing or refusing) are retried rather
+// than surfacing later as a failed first request.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	var lastErr error
+	backoff := opts.Backoff
+	for i := 0; i < opts.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), Timeout: opts.RequestTimeout}
+		if err := c.Ping(); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("collector: dial %s: %w", addr, lastErr)
+}
+
+// arm applies the per-request deadline, if any.
+func (c *Client) arm() {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+}
+
+// readLine reads one '\n'-terminated line. A stream that ends mid-line
+// (a server crashing between syscalls) is a truncation, not a line —
+// bufio.Scanner would silently hand the fragment over as a valid token.
+func (c *Client) readLine() (string, error) {
+	s, err := c.r.ReadString('\n')
+	if err != nil {
+		if s != "" {
+			return "", fmt.Errorf("%w: truncated line %q", ErrProtocol, s)
+		}
+		return "", fmt.Errorf("%w: connection closed", ErrProtocol)
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	c.arm()
+	fmt.Fprintln(c.w, "PING")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "PONG" {
+		return fmt.Errorf("%w: unexpected %q", ErrProtocol, line)
+	}
+	return nil
 }
 
 // Close sends QUIT and closes the connection.
 func (c *Client) Close() error {
+	c.arm()
 	fmt.Fprintln(c.w, "QUIT")
 	c.w.Flush()
 	// Best-effort read of BYE.
-	c.r.Scan()
+	c.readLine()
 	return c.conn.Close()
 }
 
@@ -236,12 +355,14 @@ type RemoteRoute struct {
 
 // ExtRIB pulls a device's extended RIB for a prefix.
 func (c *Client) ExtRIB(router string, p netaddr.Prefix) ([]RemoteRoute, error) {
+	c.arm()
 	fmt.Fprintf(c.w, "EXTRIB %s %s\n", router, p)
 	return c.readRoutes()
 }
 
 // Updates pulls the BMP-style update log of one session.
 func (c *Client) Updates(from, to string, p netaddr.Prefix) ([]RemoteRoute, error) {
+	c.arm()
 	fmt.Fprintf(c.w, "UPDATES %s %s %s\n", from, to, p)
 	return c.readRoutes()
 }
@@ -253,18 +374,19 @@ func (c *Client) readRoutes() ([]RemoteRoute, error) {
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	if !c.r.Scan() {
-		return nil, fmt.Errorf("%w: connection closed", ErrProtocol)
+	headLine, err := c.readLine()
+	if err != nil {
+		return nil, err
 	}
-	head := strings.Fields(c.r.Text())
+	head := strings.Fields(headLine)
 	if len(head) == 0 {
 		return nil, ErrProtocol
 	}
 	if head[0] == "ERR" {
-		return nil, fmt.Errorf("collector: server: %s", strings.TrimPrefix(c.r.Text(), "ERR "))
+		return nil, fmt.Errorf("collector: server: %s", strings.TrimPrefix(headLine, "ERR "))
 	}
 	if head[0] != "OK" || len(head) != 2 {
-		return nil, fmt.Errorf("%w: unexpected %q", ErrProtocol, c.r.Text())
+		return nil, fmt.Errorf("%w: unexpected %q", ErrProtocol, headLine)
 	}
 	n, err := strconv.Atoi(head[1])
 	if err != nil || n < 0 {
@@ -272,12 +394,13 @@ func (c *Client) readRoutes() ([]RemoteRoute, error) {
 	}
 	out := make([]RemoteRoute, 0, n)
 	for i := 0; i < n; i++ {
-		if !c.r.Scan() {
-			return nil, fmt.Errorf("%w: truncated response", ErrProtocol)
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
 		}
-		f := strings.Fields(c.r.Text())
+		f := strings.Fields(line)
 		if len(f) != 9 || f[0] != "ROUTE" {
-			return nil, fmt.Errorf("%w: bad route line %q", ErrProtocol, c.r.Text())
+			return nil, fmt.Errorf("%w: bad route line %q", ErrProtocol, line)
 		}
 		p, err := netaddr.Parse(f[1])
 		if err != nil {
@@ -288,7 +411,7 @@ func (c *Client) readRoutes() ([]RemoteRoute, error) {
 		wt, err3 := strconv.ParseUint(f[6], 10, 32)
 		nh, err4 := strconv.ParseInt(f[7], 10, 32)
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-			return nil, fmt.Errorf("%w: bad numeric field in %q", ErrProtocol, c.r.Text())
+			return nil, fmt.Errorf("%w: bad numeric field in %q", ErrProtocol, line)
 		}
 		rr := RemoteRoute{
 			Prefix: p, Protocol: f[2], ASPath: f[3],

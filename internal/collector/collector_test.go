@@ -15,7 +15,7 @@ import (
 	"hoyan/internal/topo"
 )
 
-func startServer(t *testing.T) (addr string, stop func()) {
+func newTestOracle(t *testing.T) *device.Oracle {
 	t.Helper()
 	net0 := topo.NewNetwork()
 	a := net0.MustAddNode(topo.Node{Name: "a", AS: 100, Vendor: behavior.VendorAlpha})
@@ -36,7 +36,12 @@ func startServer(t *testing.T) (addr string, stop func()) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(oracle)
+	return oracle
+}
+
+func startServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	srv := NewServer(newTestOracle(t))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -134,25 +139,42 @@ func TestRawProtocol(t *testing.T) {
 	defer conn.Close()
 	r := bufio.NewScanner(conn)
 
+	expectErr := func(req string) {
+		t.Helper()
+		fmt.Fprintf(conn, "%s\n", req)
+		if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+			t.Fatalf("%q: got %q", req, r.Text())
+		}
+	}
 	// Unknown verb.
-	fmt.Fprintf(conn, "FROB x\n")
-	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+	expectErr("FROB x")
+	// EXTRIB malformed: arity, prefix, router.
+	expectErr("EXTRIB a")
+	expectErr("EXTRIB a zzz")
+	expectErr("EXTRIB nope 10.0.0.0/8")
+	// UPDATES malformed: arity (too few and too many), prefix, routers.
+	expectErr("UPDATES a b")
+	expectErr("UPDATES a b 10.0.0.0/8 extra")
+	expectErr("UPDATES a b zzz")
+	expectErr("UPDATES nope b 10.0.0.0/8")
+	expectErr("UPDATES a nope 10.0.0.0/8")
+	// The connection is still usable after every error: PING answers.
+	fmt.Fprintf(conn, "PING\n")
+	if !r.Scan() || r.Text() != "PONG" {
 		t.Fatalf("got %q", r.Text())
 	}
-	// Bad arity.
-	fmt.Fprintf(conn, "EXTRIB a\n")
-	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
+	// Blank lines are ignored, case is folded.
+	fmt.Fprintf(conn, "\n\nping\n")
+	if !r.Scan() || r.Text() != "PONG" {
 		t.Fatalf("got %q", r.Text())
 	}
-	// Bad prefix.
-	fmt.Fprintf(conn, "EXTRIB a zzz\n")
-	if !r.Scan() || !strings.HasPrefix(r.Text(), "ERR") {
-		t.Fatalf("got %q", r.Text())
-	}
-	// QUIT.
+	// QUIT ends the session with BYE and a close.
 	fmt.Fprintf(conn, "QUIT\n")
 	if !r.Scan() || r.Text() != "BYE" {
 		t.Fatalf("got %q", r.Text())
+	}
+	if r.Scan() {
+		t.Fatalf("data after BYE: %q", r.Text())
 	}
 }
 

@@ -1,7 +1,9 @@
 // Package dist distributes per-prefix verification across worker
 // processes — the deployment note of §8: "Hoyan could be run in a
 // distributed way to get better performance". The unit of distribution is
-// the same as the paper's unit of parallelism: one prefix simulation.
+// the same as the paper's unit of parallelism: one prefix simulation, and
+// the same per-prefix independence that lets Plankton partition its
+// model-checking work makes every job here safely retryable.
 //
 // Workers hold the full network model (configurations are distributed out
 // of band, e.g. a shared network directory) and answer JSON-lines requests
@@ -10,17 +12,24 @@
 //	-> {"prefix":"10.0.0.0/24","k":3}
 //	<- {"prefix":"10.0.0.0/24","summaries":[...],"error":""}
 //
-// The coordinator fans prefixes out over a worker pool with work
-// stealing (each worker pulls the next prefix when done), aggregates the
-// per-router reachability summaries, and reports stragglers.
+// The coordinator fans prefixes out over a worker pool with work stealing
+// and a resilience layer: per-request deadlines, re-queue of in-flight
+// jobs when a worker connection dies, worker reconnection with
+// exponential backoff and jitter, bounded per-prefix retries, hedged
+// re-dispatch of stragglers to idle workers, and an AllowPartial mode
+// that degrades to a structured failure report instead of an
+// all-or-nothing error.
 package dist
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"hoyan/internal/behavior"
 	"hoyan/internal/config"
@@ -56,15 +65,27 @@ type Worker struct {
 	net  *topo.Network
 	snap config.Snapshot
 
+	// IdleTimeout bounds the wait for the next request on a coordinator
+	// connection; zero waits forever. Set before Serve.
+	IdleTimeout time.Duration
+
+	// The model is assembled once per worker (not per connection) and
+	// shared: it is read-only after Assemble, and each connection gets
+	// private Simulators.
+	modelOnce sync.Once
+	model     *core.Model
+	modelErr  error
+
 	mu     sync.Mutex
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
 
 // NewWorker builds a worker over a network.
 func NewWorker(n *topo.Network, snap config.Snapshot) *Worker {
-	return &Worker{net: n, snap: snap}
+	return &Worker{net: n, snap: snap, conns: map[net.Conn]struct{}{}}
 }
 
 // Serve accepts coordinator connections until Close.
@@ -84,25 +105,53 @@ func (w *Worker) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
-			defer conn.Close()
+			defer func() {
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+				conn.Close()
+			}()
 			w.handle(conn)
 		}()
 	}
 }
 
-// Close stops the worker.
+// Close stops the worker gracefully: no new connections are accepted, and
+// open connections stop waiting for further requests (in-flight responses
+// still flush).
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	w.closed = true
 	ln := w.ln
+	for conn := range w.conns {
+		// Unblock pending reads; in-flight writes are unaffected.
+		conn.SetReadDeadline(time.Now())
+	}
 	w.mu.Unlock()
 	if ln != nil {
 		return ln.Close()
 	}
 	return nil
+}
+
+// assemble builds the shared model exactly once; every request observes
+// the same error if assembly fails.
+func (w *Worker) assemble() (*core.Model, error) {
+	w.modelOnce.Do(func() {
+		w.model, w.modelErr = core.Assemble(w.net, w.snap, behavior.TrueProfiles())
+	})
+	return w.model, w.modelErr
 }
 
 // handle processes one coordinator connection: a stream of requests, one
@@ -111,65 +160,169 @@ func (w *Worker) handle(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	sims := map[int]*core.Simulator{}
-	var model *core.Model
 	for {
+		if w.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(w.IdleTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // connection closed or garbage; drop it
+			return // connection closed, idle too long, or garbage; drop it
 		}
-		resp := Response{Prefix: req.Prefix}
-		p, err := netaddr.Parse(req.Prefix)
-		if err != nil {
-			resp.Error = err.Error()
-			enc.Encode(resp)
-			continue
-		}
-		if model == nil {
-			model, err = core.Assemble(w.net, w.snap, behavior.TrueProfiles())
-			if err != nil {
-				resp.Error = err.Error()
-				enc.Encode(resp)
-				continue
-			}
-		}
-		sim := sims[req.K]
-		if sim == nil {
-			opts := core.DefaultOptions()
-			opts.K = req.K
-			sim = core.NewSimulator(model, opts)
-			sims[req.K] = sim
-		}
-		res, err := sim.Run(p)
-		if err != nil {
-			resp.Error = err.Error()
-			enc.Encode(resp)
-			continue
-		}
-		for _, node := range w.net.Nodes() {
-			if model.Configs[node.ID].BGP == nil {
-				continue
-			}
-			pt := core.AnyRouteTo(p)
-			rs := RouterSummary{Router: node.Name, Reachable: res.Reachable(node.ID, pt)}
-			if rs.Reachable {
-				min, _ := res.MinFailuresToLose(node.ID, pt)
-				if min > req.K {
-					rs.MinFailures = -1
-				} else {
-					rs.MinFailures = min
-				}
-			}
-			resp.Summaries = append(resp.Summaries, rs)
-		}
-		if err := enc.Encode(resp); err != nil {
+		// A dead connection ends the handler on every path — an encode
+		// error must not leave us spinning decoding garbage.
+		if err := enc.Encode(w.answer(req, sims)); err != nil {
 			return
 		}
 	}
 }
 
+// answer runs one verification request.
+func (w *Worker) answer(req Request, sims map[int]*core.Simulator) Response {
+	resp := Response{Prefix: req.Prefix}
+	p, err := netaddr.Parse(req.Prefix)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	model, err := w.assemble()
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	sim := sims[req.K]
+	if sim == nil {
+		opts := core.DefaultOptions()
+		opts.K = req.K
+		sim = core.NewSimulator(model, opts)
+		sims[req.K] = sim
+	}
+	res, err := sim.Run(p)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	for _, node := range w.net.Nodes() {
+		if model.Configs[node.ID].BGP == nil {
+			continue
+		}
+		pt := core.AnyRouteTo(p)
+		rs := RouterSummary{Router: node.Name, Reachable: res.Reachable(node.ID, pt)}
+		if rs.Reachable {
+			min, _ := res.MinFailuresToLose(node.ID, pt)
+			if min > req.K {
+				rs.MinFailures = -1
+			} else {
+				rs.MinFailures = min
+			}
+		}
+		resp.Summaries = append(resp.Summaries, rs)
+	}
+	return resp
+}
+
+// Options tunes the coordinator's resilience policy. The zero value of
+// every field selects the default from DefaultOptions.
+type Options struct {
+	// DialTimeout bounds each connection attempt.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request round-trip (encode + simulate +
+	// decode); a timed-out connection is considered dead and its job is
+	// re-queued.
+	RequestTimeout time.Duration
+	// MaxAttempts caps application-level retries per prefix (a worker
+	// answered with an error). Connection-level re-queues do not count:
+	// they are bounded by MaxConnFailures per worker instead.
+	MaxAttempts int
+	// MaxConnFailures is the number of consecutive connection-level
+	// failures (failed dials, dead connections, timeouts) after which a
+	// worker is abandoned. A completed request resets the count.
+	MaxConnFailures int
+	// BackoffBase and BackoffMax shape the exponential backoff (with
+	// jitter in [d/2, d]) between connection attempts.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeAfter re-dispatches an in-flight prefix to an idle worker
+	// once it has been outstanding this long (straggler hedging); the
+	// first result wins. Zero disables hedging.
+	HedgeAfter time.Duration
+	// AllowPartial degrades gracefully: Run returns the completed subset
+	// plus a structured report of failed prefixes and worker errors
+	// instead of an all-or-nothing error.
+	AllowPartial bool
+	// Seed drives backoff jitter; zero is treated as 1 for determinism.
+	Seed int64
+}
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options {
+	return Options{
+		DialTimeout:     2 * time.Second,
+		RequestTimeout:  30 * time.Second,
+		MaxAttempts:     3,
+		MaxConnFailures: 3,
+		BackoffBase:     50 * time.Millisecond,
+		BackoffMax:      2 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.DialTimeout == 0 {
+		o.DialTimeout = d.DialTimeout
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = d.RequestTimeout
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = d.MaxAttempts
+	}
+	if o.MaxConnFailures == 0 {
+		o.MaxConnFailures = d.MaxConnFailures
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = d.BackoffBase
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = d.BackoffMax
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// backoff returns the jittered delay before attempt n (1-based).
+func (o Options) backoff(rng *rand.Rand, n int) time.Duration {
+	d := o.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= o.BackoffMax {
+			d = o.BackoffMax
+			break
+		}
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
 // Coordinator fans work out over remote workers.
 type Coordinator struct {
 	Addrs []string
+	// Opts tunes resilience; the zero value means DefaultOptions.
+	Opts Options
+}
+
+// PrefixFailure reports one prefix that never completed.
+type PrefixFailure struct {
+	Prefix string
+	// Dispatches counts how many times the prefix was handed to a
+	// worker (including re-queues and hedges).
+	Dispatches int
+	LastError  string
 }
 
 // Result aggregates the distributed run.
@@ -178,70 +331,402 @@ type Result struct {
 	ByPrefix map[string][]RouterSummary
 	// Assigned counts prefixes completed per worker address.
 	Assigned map[string]int
+	// Failed reports prefixes that never completed, sorted by prefix.
+	// Empty on a fully successful run.
+	Failed []PrefixFailure
+	// WorkerErrors logs connection and request failures per worker
+	// address — the structured report of AllowPartial mode.
+	WorkerErrors map[string][]string
+	// Requeued counts jobs re-queued because a worker connection died
+	// with the job in flight.
+	Requeued int
+	// Retried counts application-level retries (a worker answered with
+	// an error and the prefix was re-dispatched).
+	Retried int
+	// Hedged counts speculative duplicate dispatches of stragglers.
+	Hedged int
+}
+
+// events from workers to the scheduler.
+type evKind int
+
+const (
+	evDone evKind = iota
+	evFail      // application-level error from the worker
+	evRequeue   // connection died with the job in flight
+	evDead      // worker abandoned
+)
+
+type event struct {
+	kind      evKind
+	addr      string
+	job       *job
+	summaries []RouterSummary
+	err       error
+}
+
+type job struct {
+	prefix string
+	hedge  bool
+}
+
+// flight tracks one in-flight prefix.
+type flight struct {
+	since  time.Time
+	copies int
 }
 
 // Run verifies the prefixes at budget k across the workers with work
-// stealing. It fails fast on worker errors (a production deployment would
-// retry; tests want determinism).
+// stealing, re-queueing jobs lost to dead workers and retrying failures
+// under the coordinator's Options. Without AllowPartial any failed prefix
+// is an error (the partial Result is still returned); with AllowPartial
+// the Result carries the completed subset plus Failed/WorkerErrors.
 func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
+	opts := c.Opts.withDefaults()
 	if len(c.Addrs) == 0 {
 		return nil, fmt.Errorf("dist: no workers")
 	}
-	// Buffered and pre-filled: a worker failing mid-queue must not strand
-	// the feeder (remaining jobs are simply never pulled).
-	jobs := make(chan string, len(prefixes))
-	for _, p := range prefixes {
-		jobs <- p
+	uniq := dedup(prefixes)
+	out := &Result{
+		ByPrefix:     map[string][]RouterSummary{},
+		Assigned:     map[string]int{},
+		WorkerErrors: map[string][]string{},
 	}
-	close(jobs)
-	out := &Result{ByPrefix: map[string][]RouterSummary{}, Assigned: map[string]int{}}
-	var mu sync.Mutex
+	if len(uniq) == 0 {
+		return out, nil
+	}
+
+	handout := make(chan *job)
+	events := make(chan event, len(c.Addrs)*2)
+	stop := make(chan struct{})
+
+	// Live connections, closed on exit so workers blocked mid-request
+	// (e.g. on a blackholed read) unwind promptly.
+	var connMu sync.Mutex
+	liveConns := map[net.Conn]struct{}{}
+	register := func(conn net.Conn) {
+		connMu.Lock()
+		liveConns[conn] = struct{}{}
+		connMu.Unlock()
+	}
+	unregister := func(conn net.Conn) {
+		connMu.Lock()
+		delete(liveConns, conn)
+		connMu.Unlock()
+	}
+
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(c.Addrs))
-	for _, addr := range c.Addrs {
+	for i, addr := range c.Addrs {
 		wg.Add(1)
-		go func(addr string) {
-			defer wg.Done()
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				errCh <- fmt.Errorf("dist: %s: %w", addr, err)
-				// Drain so other workers can finish the queue.
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
+		go runWorkerLoop(&wg, addr, k, opts, rng, handout, events, stop, register, unregister)
+	}
+
+	// Scheduler: owns the ready queue, in-flight table, and completion
+	// accounting. Single goroutine, so no locks on the Result.
+	ready := make([]*job, 0, len(uniq))
+	for _, p := range uniq {
+		ready = append(ready, &job{prefix: p})
+	}
+	inflight := map[string]*flight{}
+	settled := map[string]bool{} // completed or permanently failed
+	dispatches := map[string]int{}
+	attempts := map[string]int{} // application-level failures per prefix
+	remaining := len(uniq)
+	live := len(c.Addrs)
+	lastErr := map[string]string{}
+
+	fail := func(p, why string) {
+		settled[p] = true
+		remaining--
+		delete(inflight, p)
+		out.Failed = append(out.Failed, PrefixFailure{Prefix: p, Dispatches: dispatches[p], LastError: why})
+	}
+	// requeue puts a job back on the ready queue unless another copy is
+	// still in flight; it reports whether the job was re-queued.
+	requeue := func(j *job, err error) bool {
+		p := j.prefix
+		f := inflight[p]
+		if f != nil {
+			f.copies--
+		}
+		if settled[p] {
+			if f != nil && f.copies <= 0 {
+				delete(inflight, p)
+			}
+			return false
+		}
+		lastErr[p] = err.Error()
+		if f != nil && f.copies > 0 {
+			return false // a hedge copy is still running
+		}
+		delete(inflight, p)
+		ready = append(ready, &job{prefix: p})
+		return true
+	}
+
+	for remaining > 0 && live > 0 {
+		var (
+			send       chan *job
+			next       *job
+			timer      <-chan time.Time
+			hedgeTimer *time.Timer
+		)
+		if len(ready) > 0 {
+			send, next = handout, ready[0]
+		} else if opts.HedgeAfter > 0 {
+			// Oldest unsettled single-copy straggler.
+			var hp string
+			var hf *flight
+			for p, f := range inflight {
+				if f.copies != 1 || settled[p] {
+					continue
+				}
+				if hf == nil || f.since.Before(hf.since) {
+					hp, hf = p, f
+				}
+			}
+			if hf != nil {
+				if age := time.Since(hf.since); age >= opts.HedgeAfter {
+					send, next = handout, &job{prefix: hp, hedge: true}
+				} else {
+					hedgeTimer = time.NewTimer(opts.HedgeAfter - age)
+					timer = hedgeTimer.C
+				}
+			}
+		}
+		select {
+		case send <- next:
+			dispatches[next.prefix]++
+			if next.hedge {
+				inflight[next.prefix].copies++
+				out.Hedged++
+			} else {
+				ready = ready[1:]
+				if f := inflight[next.prefix]; f != nil {
+					f.copies++
+				} else {
+					inflight[next.prefix] = &flight{since: time.Now(), copies: 1}
+				}
+			}
+		case ev := <-events:
+			switch ev.kind {
+			case evDone:
+				p := ev.job.prefix
+				if f := inflight[p]; f != nil {
+					f.copies--
+					if f.copies <= 0 {
+						delete(inflight, p)
+					}
+				}
+				if settled[p] {
+					break // a hedge copy already won
+				}
+				settled[p] = true
+				remaining--
+				delete(inflight, p)
+				out.ByPrefix[p] = ev.summaries
+				out.Assigned[ev.addr]++
+			case evFail:
+				p := ev.job.prefix
+				out.WorkerErrors[ev.addr] = append(out.WorkerErrors[ev.addr],
+					fmt.Sprintf("%s: %v", p, ev.err))
+				if f := inflight[p]; f != nil {
+					f.copies--
+					if f.copies <= 0 {
+						delete(inflight, p)
+					}
+				}
+				if settled[p] {
+					break
+				}
+				lastErr[p] = ev.err.Error()
+				attempts[p]++
+				if attempts[p] >= opts.MaxAttempts {
+					fail(p, ev.err.Error())
+					break
+				}
+				if f := inflight[p]; f == nil || f.copies <= 0 {
+					delete(inflight, p)
+					ready = append(ready, &job{prefix: p})
+					out.Retried++
+				}
+			case evRequeue:
+				out.WorkerErrors[ev.addr] = append(out.WorkerErrors[ev.addr],
+					fmt.Sprintf("%s: %v", ev.job.prefix, ev.err))
+				if requeue(ev.job, ev.err) {
+					out.Requeued++
+				}
+			case evDead:
+				live--
+				out.WorkerErrors[ev.addr] = append(out.WorkerErrors[ev.addr],
+					fmt.Sprintf("worker abandoned: %v", ev.err))
+			}
+		case <-timer:
+		}
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+	}
+
+	// Unwind the pool: stop signals, then force-close any connection a
+	// worker is still blocked on (e.g. waiting out a straggler).
+	close(stop)
+	connMu.Lock()
+	for conn := range liveConns {
+		conn.Close()
+	}
+	connMu.Unlock()
+	wg.Wait()
+
+	// Whatever never settled (the pool died first) is a failure.
+	for _, p := range uniq {
+		if !settled[p] {
+			why := lastErr[p]
+			if why == "" {
+				why = "no live workers"
+			}
+			fail(p, why)
+		}
+	}
+	sort.Slice(out.Failed, func(i, j int) bool { return out.Failed[i].Prefix < out.Failed[j].Prefix })
+
+	if len(out.Failed) == 0 || opts.AllowPartial {
+		return out, nil
+	}
+	f := out.Failed[0]
+	return out, fmt.Errorf("dist: %d/%d prefixes failed (first: %s after %d dispatches: %s)",
+		len(out.Failed), len(uniq), f.Prefix, f.Dispatches, f.LastError)
+}
+
+// runWorkerLoop drives one worker address: dial (with backoff), pull
+// jobs, and convert connection deaths into re-queues. It abandons the
+// worker after MaxConnFailures consecutive connection-level failures.
+func runWorkerLoop(wg *sync.WaitGroup, addr string, k int, opts Options, rng *rand.Rand,
+	handout <-chan *job, events chan<- event, stop <-chan struct{},
+	register, unregister func(net.Conn)) {
+	defer wg.Done()
+
+	var conn net.Conn
+	var enc *json.Encoder
+	var dec *json.Decoder
+	failures := 0 // consecutive connection-level failures
+
+	send := func(ev event) {
+		ev.addr = addr
+		select {
+		case events <- ev:
+		case <-stop:
+		}
+	}
+	disconnect := func() {
+		if conn != nil {
+			unregister(conn)
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer disconnect()
+
+	// connect dials with backoff until it succeeds or the failure budget
+	// is spent; false means the worker is done (dead or stopped).
+	connect := func() bool {
+		for {
+			select {
+			case <-stop:
+				return false
+			default:
+			}
+			c, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+			if err == nil {
+				conn = c
+				register(c)
+				enc = json.NewEncoder(c)
+				dec = json.NewDecoder(bufio.NewReader(c))
+				return true
+			}
+			failures++
+			if failures >= opts.MaxConnFailures {
+				send(event{kind: evDead, err: err})
+				return false
+			}
+			t := time.NewTimer(opts.backoff(rng, failures))
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return false
+			}
+		}
+	}
+
+	if !connect() {
+		return
+	}
+	for {
+		var j *job
+		select {
+		case <-stop:
+			return
+		case j = <-handout:
+		}
+
+		summaries, appErr, connErr := doRequest(conn, enc, dec, j, k, opts)
+		if connErr != nil {
+			// The connection died with the job in hand: give the job
+			// back, then reconnect (with backoff) or give up.
+			disconnect()
+			send(event{kind: evRequeue, job: j, err: connErr})
+			failures++
+			if failures >= opts.MaxConnFailures {
+				send(event{kind: evDead, err: connErr})
 				return
 			}
-			defer conn.Close()
-			enc := json.NewEncoder(conn)
-			dec := json.NewDecoder(bufio.NewReader(conn))
-			for p := range jobs {
-				if err := enc.Encode(Request{Prefix: p, K: k}); err != nil {
-					errCh <- fmt.Errorf("dist: %s: %w", addr, err)
-					return
-				}
-				var resp Response
-				if err := dec.Decode(&resp); err != nil {
-					errCh <- fmt.Errorf("dist: %s: %w", addr, err)
-					return
-				}
-				if resp.Error != "" {
-					errCh <- fmt.Errorf("dist: %s: %s: %s", addr, p, resp.Error)
-					return
-				}
-				mu.Lock()
-				out.ByPrefix[resp.Prefix] = resp.Summaries
-				out.Assigned[addr]++
-				mu.Unlock()
+			t := time.NewTimer(opts.backoff(rng, failures))
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return
 			}
-		}(addr)
+			if !connect() {
+				return
+			}
+			continue
+		}
+		failures = 0
+		if appErr != nil {
+			send(event{kind: evFail, job: j, err: appErr})
+			continue
+		}
+		send(event{kind: evDone, job: j, summaries: summaries})
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return out, err
-	default:
+}
+
+// doRequest performs one request round-trip under the request deadline.
+// connErr non-nil means the connection is unusable (the stream may be
+// desynchronized); appErr non-nil means the worker answered with an
+// error and the connection is still good.
+func doRequest(conn net.Conn, enc *json.Encoder, dec *json.Decoder, j *job, k int, opts Options) (summaries []RouterSummary, appErr, connErr error) {
+	if opts.RequestTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(opts.RequestTimeout))
 	}
-	if len(out.ByPrefix) != len(dedup(prefixes)) {
-		return out, fmt.Errorf("dist: %d/%d prefixes completed", len(out.ByPrefix), len(dedup(prefixes)))
+	if err := enc.Encode(Request{Prefix: j.prefix, K: k}); err != nil {
+		return nil, nil, err
 	}
-	return out, nil
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		return nil, nil, err
+	}
+	if resp.Prefix != j.prefix {
+		// Stream desync (e.g. a late answer to a timed-out request):
+		// the connection can no longer be trusted.
+		return nil, nil, fmt.Errorf("response for %q to request for %q", resp.Prefix, j.prefix)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("%s", resp.Error), nil
+	}
+	return resp.Summaries, nil, nil
 }
 
 func dedup(ps []string) []string {

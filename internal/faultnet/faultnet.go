@@ -1,0 +1,311 @@
+// Package faultnet wraps net.Listener / net.Conn pairs with injectable
+// faults — connection refusal, mid-stream drops, silent blackholes,
+// latency, and byte corruption — for chaos-testing the networked planes
+// (the dist coordinator/worker pair and the collector client/server).
+//
+// Faults come in two flavors:
+//
+//   - Deterministic counters (RefuseFirst, RefuseAfter, DropAfterBytes,
+//     CorruptEvery, BlackholeReads): the fault schedule depends only on
+//     byte and connection counts, so tests using them are replayable.
+//   - Seeded probabilities (RefuseProb, DropProb, CorruptProb): driven by
+//     a rand.Rand seeded from Config.Seed, so the schedule is still
+//     reproducible for a fixed seed and workload.
+//
+// Wrap the *server* side listener; the client keeps dialing real
+// addresses and observes refusals as immediate closes, drops as resets
+// mid-stream, and blackholes as reads that never return.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks a connection failure manufactured by this package.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config selects the faults a wrapped listener injects. The zero value
+// injects nothing (a transparent wrapper).
+type Config struct {
+	// Seed drives the probabilistic faults; zero is treated as 1 so the
+	// default is deterministic rather than entropic.
+	Seed int64
+
+	// RefuseFirst accepts-then-immediately-closes the first N connections
+	// (the peer sees a refusal-like instant close).
+	RefuseFirst int
+	// RefuseAfter refuses every connection after the first N accepted
+	// ones; zero disables. Models a worker that dies partway through a
+	// run and never comes back.
+	RefuseAfter int
+	// RefuseProb refuses each connection with this probability.
+	RefuseProb float64
+
+	// DropAfterBytes kills a connection once this many bytes (reads plus
+	// writes) have crossed it; zero disables. Models a mid-stream crash.
+	DropAfterBytes int
+	// DropProb drops the connection before each read or write with this
+	// probability.
+	DropProb float64
+
+	// BlackholeReads makes every read block until the connection is
+	// closed while writes still succeed — a silent partition: the peer's
+	// requests are swallowed and no response ever comes back.
+	BlackholeReads bool
+
+	// Latency delays each read and each write by this much.
+	Latency time.Duration
+
+	// CorruptEvery XORs every Nth byte read from the wire with 0xFF;
+	// zero disables. Line- and JSON-protocols turn this into parse
+	// errors rather than silent bad data.
+	CorruptEvery int
+	// CorruptProb corrupts the first byte of each read with this
+	// probability.
+	CorruptProb float64
+}
+
+// Stats counts what the listener did to its peers.
+type Stats struct {
+	Accepted int // connections passed through
+	Refused  int // connections closed at accept
+	Dropped  int // connections killed mid-stream
+}
+
+// Listener injects faults into accepted connections.
+type Listener struct {
+	inner net.Listener
+	cfg   Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	seen   int // total accept attempts, including refused ones
+	stats  Stats
+	conns  map[*Conn]struct{}
+	closed bool
+}
+
+// Wrap decorates a listener with the configured faults.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Listener{
+		inner: ln,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: map[*Conn]struct{}{},
+	}
+}
+
+// Accept returns the next non-refused connection, wrapped.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.seen++
+		refuse := l.seen <= l.cfg.RefuseFirst ||
+			(l.cfg.RefuseAfter > 0 && l.seen > l.cfg.RefuseAfter) ||
+			(l.cfg.RefuseProb > 0 && l.rng.Float64() < l.cfg.RefuseProb)
+		if refuse {
+			l.stats.Refused++
+			l.mu.Unlock()
+			c.Close()
+			continue
+		}
+		fc := &Conn{Conn: c, l: l, closed: make(chan struct{})}
+		if l.closed {
+			l.mu.Unlock()
+			c.Close()
+			return nil, net.ErrClosed
+		}
+		l.stats.Accepted++
+		l.conns[fc] = struct{}{}
+		l.mu.Unlock()
+		return fc, nil
+	}
+}
+
+// Close closes the listener and every live connection it accepted (so
+// blackholed reads unblock and servers can drain).
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.inner.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// Addr returns the underlying listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Stats snapshots the fault counters.
+func (l *Listener) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+func (l *Listener) forget(c *Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// roll returns true with probability p, using the shared seeded RNG.
+func (l *Listener) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64() < p
+}
+
+// Conn is a fault-injecting connection produced by Listener.Accept.
+type Conn struct {
+	net.Conn
+	l *Listener
+
+	once   sync.Once
+	closed chan struct{}
+
+	mu    sync.Mutex
+	bytes int // total bytes read + written
+}
+
+// Close closes the connection exactly once and unblocks blackholed reads.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() {
+		close(c.closed)
+		c.l.forget(c)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// kill drops the connection mid-stream and records it.
+func (c *Conn) kill() {
+	c.l.mu.Lock()
+	c.l.stats.Dropped++
+	c.l.mu.Unlock()
+	c.Close()
+}
+
+// budget consumes n bytes of the drop budget; it reports whether the
+// connection crossed DropAfterBytes with this operation.
+func (c *Conn) budget(n int) bool {
+	cfg := &c.l.cfg
+	if cfg.DropAfterBytes <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.bytes
+	c.bytes += n
+	return before < cfg.DropAfterBytes && c.bytes >= cfg.DropAfterBytes
+}
+
+// delay injects latency, aborting early if the connection closes.
+func (c *Conn) delay() error {
+	d := c.l.cfg.Latency
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.delay(); err != nil {
+		return 0, err
+	}
+	if c.l.cfg.BlackholeReads {
+		<-c.closed
+		return 0, net.ErrClosed
+	}
+	if c.l.roll(c.l.cfg.DropProb) {
+		c.kill()
+		return 0, ErrInjected
+	}
+	c.mu.Lock()
+	start := c.bytes
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	if ce := c.l.cfg.CorruptEvery; ce > 0 {
+		for i := 0; i < n; i++ {
+			if (start+i+1)%ce == 0 {
+				p[i] ^= 0xFF
+			}
+		}
+	}
+	if n > 0 && c.l.roll(c.l.cfg.CorruptProb) {
+		p[0] ^= 0xFF
+	}
+	if c.budget(n) {
+		c.kill()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.delay(); err != nil {
+		return 0, err
+	}
+	if c.l.roll(c.l.cfg.DropProb) {
+		c.kill()
+		return 0, ErrInjected
+	}
+	// Clamp the write at the drop budget so the peer observes a stream
+	// truncated mid-message, exactly like a crash between syscalls.
+	if lim := c.l.cfg.DropAfterBytes; lim > 0 {
+		c.mu.Lock()
+		remain := lim - c.bytes
+		c.mu.Unlock()
+		if remain <= 0 {
+			c.kill()
+			return 0, ErrInjected
+		}
+		if len(p) > remain {
+			n, _ := c.Conn.Write(p[:remain])
+			c.mu.Lock()
+			c.bytes += n
+			c.mu.Unlock()
+			c.kill()
+			return n, ErrInjected
+		}
+	}
+	n, err := c.Conn.Write(p)
+	if c.budget(n) {
+		c.kill()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,235 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs an echo server behind a fault-wrapped listener.
+func startEcho(t *testing.T, cfg Config) (addr string, fl *Listener, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl = Wrap(ln, cfg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			conn, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), fl, func() {
+		fl.Close()
+		<-done
+	}
+}
+
+func TestTransparentWhenZeroConfig(t *testing.T) {
+	addr, fl, stop := startEcho(t, Config{})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello, fault-free world\n")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo %q != %q", got, msg)
+	}
+	if s := fl.Stats(); s.Accepted != 1 || s.Refused != 0 || s.Dropped != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRefuseFirst(t *testing.T) {
+	addr, fl, stop := startEcho(t, Config{RefuseFirst: 1})
+	defer stop()
+
+	// First connection: accepted then instantly closed — a read sees EOF.
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err == nil {
+		t.Fatal("refused connection must not deliver data")
+	}
+
+	// Second connection works.
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(c2, got); err != nil {
+		t.Fatal(err)
+	}
+	if s := fl.Stats(); s.Refused != 1 || s.Accepted != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRefuseAfter(t *testing.T) {
+	addr, fl, stop := startEcho(t, Config{RefuseAfter: 1})
+	defer stop()
+
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c1, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection after RefuseAfter must be refused")
+	}
+	if s := fl.Stats(); s.Refused != 1 || s.Accepted != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	addr, fl, stop := startEcho(t, Config{DropAfterBytes: 8})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	// 32 bytes blows the 8-byte budget on the server's first read.
+	conn.Write(bytes.Repeat([]byte("a"), 32))
+	// The echo must terminate (EOF or reset) rather than stream forever.
+	if _, err := io.Copy(io.Discard, conn); err != nil && err == io.EOF {
+		t.Fatalf("copy: %v", err)
+	}
+	if s := fl.Stats(); s.Dropped < 1 {
+		t.Fatalf("stats %+v: expected a drop", s)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	const lat = 50 * time.Millisecond
+	addr, _, stop := startEcho(t, Config{Latency: lat})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	conn.Write([]byte("x"))
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// One server read delay + one server write delay.
+	if d := time.Since(start); d < lat {
+		t.Fatalf("round-trip %v faster than injected latency %v", d, lat)
+	}
+}
+
+func TestCorruptEveryIsDeterministic(t *testing.T) {
+	addr, _, stop := startEcho(t, Config{CorruptEvery: 2})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("abcdefgh")
+	conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	// The server's read flips every 2nd byte; the echo returns them.
+	want := make([]byte, len(msg))
+	copy(want, msg)
+	for i := 1; i < len(want); i += 2 {
+		want[i] ^= 0xFF
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x want % x", got, want)
+	}
+}
+
+func TestBlackholeReadsUnblockOnClose(t *testing.T) {
+	addr, fl, stop := startEcho(t, Config{BlackholeReads: true})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("swallowed\n"))
+	conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("blackholed server must never answer")
+	}
+	// Closing the listener must unblock the server's stuck read so stop
+	// (and real servers draining connections) terminates.
+	doneCh := make(chan struct{})
+	go func() { stop(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener close did not unblock blackholed reads")
+	}
+	if s := fl.Stats(); s.Accepted != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRefuseProbSeededDeterminism(t *testing.T) {
+	// With probability 1 every connection is refused regardless of seed.
+	addr, fl, stop := startEcho(t, Config{RefuseProb: 1, Seed: 42})
+	defer stop()
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("must refuse")
+		}
+		c.Close()
+	}
+	if s := fl.Stats(); s.Refused != 3 || s.Accepted != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
