@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check bench
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench smoke-runs every benchmark once (-benchtime=1x): not a timing
+# run, just a guarantee that the evaluation harness keeps compiling and
+# completing. Real measurements use `go test -bench=.` defaults or
+# `hoyanbench -perf`.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
 # check is the CI gate: vet plus the full suite under the race detector.
 # The dist/collector chaos tests run here too — they are deterministic
 # (seeded faultnet, byte-budget fault schedules), so no flake allowance.
-check: vet race
+check: vet race bench

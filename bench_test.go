@@ -40,6 +40,7 @@ func mustModel(b *testing.B, w *gen.WAN) *core.Model {
 // BenchmarkTable2VSBDetection: the tuner discovers and patches the VSBs of
 // a multi-vendor WAN (Table 2).
 func BenchmarkTable2VSBDetection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Table2VSBs(); err != nil {
 			b.Fatal(err)
@@ -53,6 +54,7 @@ func BenchmarkTable3FullWANRouteReach(b *testing.B) {
 	w := mustWAN(b, gen.Full())
 	m := mustModel(b, w)
 	prefixes := w.Prefixes()[:8]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim := core.NewSimulator(m, core.DefaultOptions())
@@ -80,6 +82,7 @@ func BenchmarkTable3FullWANPacketReach(b *testing.B) {
 		b.Fatal(err)
 	}
 	gw, _ := m.Resolve(w.PrefixOwners[p])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fib := dataplane.Build(res)
@@ -103,6 +106,7 @@ func BenchmarkTable3RoleEquivalence(b *testing.B) {
 		b.Fatal(err)
 	}
 	groups := w.Net.NodeGroups()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, members := range groups {
@@ -120,6 +124,7 @@ func BenchmarkTable3Racing(b *testing.B) {
 	m := mustModel(b, w)
 	sim := core.NewSimulator(m, core.DefaultOptions())
 	p := w.Prefixes()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := racing.Detect(sim, p, racing.DefaultOptions()); err != nil {
@@ -135,6 +140,7 @@ func BenchmarkTable4HoyanSmallK1(b *testing.B) {
 	m := mustModel(b, w)
 	p := w.Prefixes()[0]
 	tgt := w.Cores[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts := core.DefaultOptions()
@@ -153,6 +159,7 @@ func BenchmarkTable4BatfishSmallK1(b *testing.B) {
 	w := mustWAN(b, gen.Small())
 	p := w.Prefixes()[0]
 	tgt := w.Cores[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bf := batfish.New(w.Net, w.Snap, behavior.TrueProfiles())
@@ -166,6 +173,7 @@ func BenchmarkTable4MinesweeperSmallK1(b *testing.B) {
 	w := mustWAN(b, gen.Small())
 	p := w.Prefixes()[0]
 	tgt := w.Cores[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ms, err := minesweeper.New(w.Net, w.Snap, behavior.TrueProfiles())
@@ -182,6 +190,7 @@ func BenchmarkTable4PlanktonSmallK1(b *testing.B) {
 	w := mustWAN(b, gen.Small())
 	p := w.Prefixes()[0]
 	tgt := w.Cores[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pk := plankton.New(w.Net, w.Snap, behavior.TrueProfiles())
@@ -194,6 +203,7 @@ func BenchmarkTable4PlanktonSmallK1(b *testing.B) {
 // BenchmarkFig7CampaignMonth: verify one month of the audit campaign
 // (Figure 7's per-month work).
 func BenchmarkFig7CampaignMonth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Fig7Campaign(gen.Small(), 1); err != nil {
 			b.Fatal(err)
@@ -228,6 +238,7 @@ func BenchmarkFig9VerifyPrefix(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, node := range m.Net.Nodes() {
@@ -239,6 +250,7 @@ func BenchmarkFig9VerifyPrefix(b *testing.B) {
 // BenchmarkFig14AccuracyTuning: the full pre→post tuning accuracy sweep
 // (Figure 14).
 func BenchmarkFig14AccuracyTuning(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Fig14Accuracy(gen.Small()); err != nil {
 			b.Fatal(err)
@@ -248,6 +260,7 @@ func BenchmarkFig14AccuracyTuning(b *testing.B) {
 
 // BenchmarkFig15ExtRIBLoadAndFig16Localize: tuner data-collection figures.
 func BenchmarkFig15ExtRIBLoadAndFig16Localize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.Fig15and16Tuner(gen.Small()); err != nil {
 			b.Fatal(err)
@@ -257,6 +270,7 @@ func BenchmarkFig15ExtRIBLoadAndFig16Localize(b *testing.B) {
 
 // BenchmarkAppendixFFormulaSizes: Hoyan vs Minesweeper formula sizes.
 func BenchmarkAppendixFFormulaSizes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.AppendixFFormulas(); err != nil {
 			b.Fatal(err)
@@ -285,6 +299,7 @@ func benchAblation(b *testing.B, mod func(*core.Options)) {
 	w := mustWAN(b, gen.Medium())
 	m := mustModel(b, w)
 	p := w.Prefixes()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts := core.DefaultOptions()
@@ -302,6 +317,7 @@ func BenchmarkFig12PruningStats(b *testing.B) {
 	w := mustWAN(b, gen.Medium())
 	m := mustModel(b, w)
 	p := w.Prefixes()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim := core.NewSimulator(m, core.DefaultOptions())

@@ -6,3 +6,6 @@ set -eu
 go build ./...
 go vet ./...
 go test -race ./...
+# Benchmark smoke: one iteration of every benchmark keeps the evaluation
+# harness honest without turning CI into a timing run.
+go test -bench=. -benchtime=1x -run='^$' .

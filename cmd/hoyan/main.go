@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hoyan"
@@ -36,6 +38,9 @@ commands:
   sweep   -dir DIR -workers a:p,b:p [-k N]      distributed whole-network sweep
           [-retries N] [-req-timeout D] [-dial-timeout D]
           [-hedge-after D] [-partial]           fault-tolerance knobs
+
+every command also accepts -cpuprofile FILE and -memprofile FILE to
+write pprof profiles of the run.
 `)
 	os.Exit(2)
 }
@@ -63,8 +68,11 @@ func main() {
 	dialTimeout := fs.Duration("dial-timeout", dopts.DialTimeout, "sweep: per-dial deadline")
 	hedgeAfter := fs.Duration("hedge-after", 0, "sweep: re-dispatch stragglers to idle workers after this long (0 = off)")
 	partial := fs.Bool("partial", false, "sweep: report failed prefixes instead of aborting the run")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
 
+	startProfiles(*cpuprofile, *memprofile)
 	if *dir == "" {
 		fail("missing -dir")
 	}
@@ -154,7 +162,7 @@ func main() {
 			fmt.Printf("%s and %s are equivalent roles\n", *a, *b)
 		} else {
 			fmt.Printf("%d divergences\n", diffs)
-			os.Exit(1)
+			exit(1)
 		}
 	case "racing":
 		need(*prefix, "-prefix")
@@ -166,7 +174,7 @@ func main() {
 		if rep.Ambiguous {
 			fmt.Printf("AMBIGUOUS: %d convergences; order-dependent at %d routers\n",
 				len(rep.Solutions), len(rep.AmbiguousNodes))
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println("convergence is deterministic")
 	case "audit":
@@ -199,7 +207,7 @@ func main() {
 		}
 		fmt.Printf("audit complete: %d violations\n", violations)
 		if violations > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	case "update":
 		need(*device, "-device")
@@ -262,7 +270,7 @@ func main() {
 		}
 		fmt.Printf("%d intent violations\n", len(viols))
 		if len(viols) > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	case "sweep":
 		need(*workers, "-workers")
@@ -301,11 +309,53 @@ func main() {
 		fmt.Printf("distributed sweep: %d/%d prefixes over %d workers, %d violations\n",
 			len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), len(res.Assigned), bad)
 		if bad > 0 || len(res.Failed) > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	default:
 		usage()
 	}
+	exit(0)
+}
+
+// finishProfiles flushes any profiles requested with -cpuprofile /
+// -memprofile; every exit path must run it, hence exit() below.
+var finishProfiles = func() {}
+
+func startProfiles(cpu, mem string) {
+	stopCPU := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fail(err.Error())
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err.Error())
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	finishProfiles = func() {
+		stopCPU()
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hoyan:", err)
+				return
+			}
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hoyan:", err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func exit(code int) {
+	finishProfiles()
+	os.Exit(code)
 }
 
 func need(v, name string) {
@@ -316,7 +366,7 @@ func need(v, name string) {
 
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "hoyan:", msg)
-	os.Exit(1)
+	exit(1)
 }
 
 func mustPrefix(s string) netaddr.Prefix {

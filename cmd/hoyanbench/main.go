@@ -2,15 +2,29 @@
 // (§8, Appendices E/F) on the synthetic WAN presets and prints them as
 // text. See EXPERIMENTS.md for the mapping to the paper and the expected
 // shapes.
+//
+// With -perf LABEL it instead measures the engine's performance
+// trajectory — the Figure 8 per-prefix simulation microbenchmark plus
+// medium- and full-WAN sweep wall-clock — and records the snapshot under
+// LABEL in a JSON file (default BENCH_PR2.json), merging with whatever
+// labels are already there. Committing the file after a perf PR keeps a
+// before/after record next to the code.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
+	"hoyan"
+	"hoyan/internal/behavior"
 	"hoyan/internal/bench"
+	"hoyan/internal/config"
+	"hoyan/internal/core"
 	"hoyan/internal/gen"
 )
 
@@ -19,7 +33,18 @@ func main() {
 	budget := flag.Duration("budget", 60*time.Second, "per-cell budget for baseline comparisons")
 	months := flag.Int("months", 24, "campaign months for fig7")
 	limit := flag.Int("limit", 24, "prefix sample size for full-WAN experiments (0 = all)")
+	perf := flag.String("perf", "", "record a perf-trajectory snapshot under this label and exit")
+	perfout := flag.String("perfout", "BENCH_PR2.json", "perf-trajectory JSON file to merge the snapshot into")
+	workers := flag.Int("workers", 8, "sweep workers for -perf")
 	flag.Parse()
+
+	if *perf != "" {
+		if err := runPerf(*perf, *perfout, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "hoyanbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type experiment struct {
 		name string
@@ -62,4 +87,109 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hoyanbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runPerf measures the perf-trajectory snapshot and merges it into the
+// JSON file under label.
+func runPerf(label, out string, workers int) error {
+	snap := map[string]any{
+		"date":       time.Now().UTC().Format(time.RFC3339),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+
+	// Figure 8 microbenchmark: one per-prefix simulation on the full WAN
+	// at the default failure budget, allocation-counted.
+	w, err := gen.Generate(gen.Full())
+	if err != nil {
+		return err
+	}
+	m, err := core.Assemble(w.Net, w.Snap, behavior.TrueProfiles())
+	if err != nil {
+		return err
+	}
+	sim := core.NewSimulator(m, core.DefaultOptions())
+	p := w.Prefixes()[0]
+	// Warm up once so the benchmark reports the steady state (the first
+	// run on a fresh simulator pays the one-time IGP propagation) — the
+	// same regime `go test -bench` reaches by amortizing over b.N.
+	if _, err := sim.Run(p); err != nil {
+		return err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(p); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	snap["fig8_simulate"] = map[string]any{
+		"ns_per_op":     r.NsPerOp(),
+		"bytes_per_op":  r.AllocedBytesPerOp(),
+		"allocs_per_op": r.AllocsPerOp(),
+		"iterations":    r.N,
+	}
+	fmt.Printf("fig8 simulate: %s\n", r.String()+"\t"+r.MemString())
+
+	// Whole-network sweep wall-clock through the public API, the paper's
+	// §8 deployment mode.
+	for _, preset := range []struct {
+		name   string
+		params gen.Params
+	}{{"medium", gen.Medium()}, {"full", gen.Full()}} {
+		pw, err := gen.Generate(preset.params)
+		if err != nil {
+			return err
+		}
+		rep, err := sweepNetwork(pw).Sweep(hoyan.Options{K: 3}, workers)
+		if err != nil {
+			return err
+		}
+		snap["sweep_"+preset.name] = map[string]any{
+			"seconds":  rep.Duration.Seconds(),
+			"prefixes": len(rep.Prefixes),
+			"workers":  rep.Workers,
+			"k":        3,
+		}
+		fmt.Printf("sweep %s: %s\n", preset.name, rep)
+	}
+
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	}
+	doc[label] = snap
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q in %s\n", label, out)
+	return nil
+}
+
+// sweepNetwork lifts a generated WAN into the public API.
+func sweepNetwork(w *gen.WAN) *hoyan.Network {
+	n := hoyan.NewNetwork()
+	for _, node := range w.Net.Nodes() {
+		n.AddRouter(hoyan.Router{Name: node.Name, AS: node.AS, Vendor: node.Vendor,
+			Region: node.Region, Group: node.Group})
+	}
+	for _, l := range w.Net.Links() {
+		n.AddLink(w.Net.Node(l.A).Name, w.Net.Node(l.B).Name, l.Weight)
+	}
+	for name, cfg := range w.Snap {
+		n.SetConfig(name, config.Write(cfg))
+	}
+	return n
 }

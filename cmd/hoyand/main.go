@@ -21,6 +21,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,6 +41,8 @@ func main() {
 	k := flag.Int("k", 3, "failure budget")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop collector connections idle this long (0 = never)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+	cpuprofile := flag.String("cpuprofile", "", "profile CPU for the server's lifetime, written on shutdown")
+	memprofile := flag.String("memprofile", "", "write a heap profile on shutdown")
 	flag.Parse()
 
 	if *dir == "" {
@@ -84,6 +89,12 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// Profiles cover the serving lifetime and flush on any exit path:
+	// graceful shutdown returns through the deferred call, the serve-error
+	// path flushes explicitly before os.Exit.
+	finishProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer finishProfiles()
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -101,6 +112,47 @@ func main() {
 		*httpAddr, topoNet.NumNodes(), topoNet.NumLinks(), *k)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "hoyand:", err)
+		finishProfiles()
 		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling (when requested) and returns an
+// idempotent flush that stops it and writes the heap profile.
+func startProfiles(cpu, mem string) func() {
+	stopCPU := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hoyand:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hoyand:", err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			stopCPU()
+			if mem == "" {
+				return
+			}
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hoyand:", err)
+				return
+			}
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hoyand:", err)
+			}
+			f.Close()
+		})
 	}
 }

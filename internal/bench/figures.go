@@ -169,7 +169,9 @@ func collectPerPrefix(params gen.Params, k int, limit int) (*perPrefixSamples, e
 	}
 	opts := core.DefaultOptions()
 	opts.K = k
-	sim := core.NewSimulator(m, opts)
+	// Shared path: assemble-once model plus the one-time IGP snapshot,
+	// exactly what a sweep worker would get.
+	sim := core.NewShared(m, opts).NewSimulator()
 	prefixes := w.Prefixes()
 	if limit > 0 && limit < len(prefixes) {
 		prefixes = prefixes[:limit]

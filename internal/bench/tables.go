@@ -109,12 +109,17 @@ func Table3FullWAN(params gen.Params, prefixLimit int) (Table, error) {
 		opts := core.DefaultOptions()
 		opts.K = k
 		var routeDur, pktDur time.Duration
-		// One simulator per small prefix batch bounds formula-arena
-		// memory: a fresh factory every few prefixes, re-amortizing the
-		// IGP like the paper's "30 seconds to load" setup cost.
+		// One Reset per small prefix batch bounds formula-arena memory —
+		// a fresh factory every few prefixes — while the Shared-seeded
+		// IGP snapshot keeps the paper's "30 seconds to load" setup cost
+		// paid once per k, not once per batch.
+		sh := core.NewShared(m, opts)
+		sim := sh.NewSimulator()
 		const batch = 4
 		for base := 0; base < len(sample); base += batch {
-			sim := core.NewSimulator(m, opts)
+			if base > 0 {
+				sim.Reset()
+			}
 			hi := base + batch
 			if hi > len(sample) {
 				hi = len(sample)

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hoyan/internal/behavior"
 	"hoyan/internal/igp"
@@ -98,21 +98,50 @@ type session struct {
 	from, to topo.NodeID
 	cond     logic.F
 	ibgp     bool
+	viaIGP   bool // cond comes from IGP reachability, resolved lazily
 }
 
-// Simulator owns the shared per-shard state: one formula factory, one IGP
-// engine, and the session table. Prefix simulations run sequentially on a
-// Simulator; run several Simulators over prefix shards for parallelism
-// (the paper uses 50 worker threads the same way).
+// Simulator owns the per-shard mutable state: one formula factory, one
+// IGP engine, the session table, and recycled per-run scratch. Prefix
+// simulations run sequentially on a Simulator; run several Simulators
+// over prefix shards for parallelism (the paper uses 50 worker threads
+// the same way). Derive workers from one Shared so the model assembly
+// and IGP propagation happen once per run, not once per worker.
 type Simulator struct {
 	M    *Model
 	F    *logic.Factory
 	IGP  *igp.Engine
 	Opts Options
 
+	shared     *Shared // non-nil when built via Shared.NewSimulator
 	sessions   []session
 	sessionsBy [][]int // outgoing session indices per node
+	sessionsTo [][]int // incoming session indices per node
 	igpLazy    map[int]bool
+
+	sc runScratch
+}
+
+// runScratch holds buffers Run recycles across prefixes: per-node
+// origination lists, per-session contributions, the worklist, and the
+// per-prefix RIB slots bgpRIB assembles into. Nothing here survives
+// into a Result — Run copies what a Result retains.
+type runScratch struct {
+	locals  [][]Entry // per node, truncated per run
+	statics [][]Entry
+	contrib [][]Entry // per session (post-ingress view)
+	queue   []int
+	inQueue []bool
+	changes []int
+
+	// The prefix universe of the current run: every prefix that can
+	// appear in a RIB while simulating this family, sorted. Slots are
+	// parallel to prefixes and reused call-to-call by bgpRIB.
+	prefixes  []netaddr.Prefix
+	prefixIdx map[netaddr.Prefix]int
+	slots     [][]Entry
+
+	rankBGP, rankOther []Entry // rank's partition buffers
 }
 
 // NewSimulator prepares the session table. iBGP session conditions are
@@ -129,6 +158,7 @@ func NewSimulator(m *Model, opts Options) *Simulator {
 		F:          logic.NewFactory(),
 		Opts:       opts,
 		sessionsBy: make([][]int, m.Net.NumNodes()),
+		sessionsTo: make([][]int, m.Net.NumNodes()),
 		igpLazy:    map[int]bool{},
 	}
 	s.IGP = igp.New(m.Net, m.Configs, s.F, igpOptions(opts))
@@ -153,13 +183,58 @@ func NewSimulator(m *Model, opts Options) *Simulator {
 			if se.ibgp && s.bothISIS(node.ID, peer) {
 				// Placeholder; resolved lazily from the IGP.
 				se.cond = logic.False
+				se.viaIGP = true
 				s.igpLazy[idx] = true
 			}
 			s.sessions = append(s.sessions, se)
 			s.sessionsBy[node.ID] = append(s.sessionsBy[node.ID], idx)
+			s.sessionsTo[peer] = append(s.sessionsTo[peer], idx)
 		}
 	}
 	return s
+}
+
+// Reset discards the simulator's formula universe — factory, BDD space,
+// IGP engine, and every cached condition — returning it to its
+// post-construction state while keeping the model, the session table and
+// the recycled scratch capacity. Long-running batch drivers call Reset
+// between prefix batches to bound formula-arena memory without paying
+// session-table construction again; a simulator derived from a Shared is
+// re-seeded with the shared IGP memo, so not even IGP propagation is
+// repeated. Results obtained before a Reset reference the old factory
+// and must not be queried afterwards.
+func (s *Simulator) Reset() {
+	s.F = logic.NewFactory()
+	s.IGP = igp.New(s.M.Net, s.M.Configs, s.F, igpOptions(s.Opts))
+	if s.shared != nil {
+		s.IGP.Seed(s.shared.memo)
+	}
+	for i := range s.sessions {
+		se := &s.sessions[i]
+		if se.viaIGP {
+			se.cond = logic.False
+			s.igpLazy[i] = true
+		} else {
+			se.cond = s.directCond(se.from, se.to)
+		}
+	}
+	// Scratch entries hold formula refs from the old factory; drop the
+	// contents, keep the capacity.
+	sc := &s.sc
+	for i := range sc.contrib {
+		sc.contrib[i] = sc.contrib[i][:0]
+	}
+	for i := range sc.locals {
+		sc.locals[i] = sc.locals[i][:0]
+	}
+	for i := range sc.statics {
+		sc.statics[i] = sc.statics[i][:0]
+	}
+	for i := range sc.slots {
+		sc.slots[i] = sc.slots[i][:0]
+	}
+	sc.rankBGP = sc.rankBGP[:0]
+	sc.rankOther = sc.rankOther[:0]
 }
 
 // directCond returns the condition of a single-hop session: any parallel
@@ -201,11 +276,41 @@ type Result struct {
 	sessionMsgs [][]Entry
 }
 
+// prepareScratch sizes and clears the recycled per-run buffers.
+func (s *Simulator) prepareScratch(n int) {
+	sc := &s.sc
+	if len(sc.locals) < n {
+		sc.locals = make([][]Entry, n)
+		sc.statics = make([][]Entry, n)
+		sc.inQueue = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		sc.locals[i] = sc.locals[i][:0]
+		sc.statics[i] = sc.statics[i][:0]
+		sc.inQueue[i] = false
+	}
+	if len(sc.contrib) < len(s.sessions) {
+		sc.contrib = make([][]Entry, len(s.sessions))
+		sc.changes = make([]int, len(s.sessions))
+	}
+	for i := range sc.contrib {
+		sc.contrib[i] = nil
+		sc.changes[i] = 0
+	}
+	if sc.prefixIdx == nil {
+		sc.prefixIdx = make(map[netaddr.Prefix]int, 16)
+	} else {
+		clear(sc.prefixIdx)
+	}
+	sc.prefixes = sc.prefixes[:0]
+	sc.queue = sc.queue[:0]
+}
+
 // Run simulates the propagation of the prefix's family (§5.4 Algorithm 1)
 // and returns the converged RIBs with topology conditions.
 func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	family := s.M.PrefixFamily(prefix)
-	inFamily := map[netaddr.Prefix]bool{}
+	inFamily := make(map[netaddr.Prefix]bool, len(family))
 	for _, p := range family {
 		inFamily[p] = true
 	}
@@ -225,17 +330,19 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	}
 	n := s.M.Net.NumNodes()
 	res := &Result{Sim: s, Prefixes: family, ribs: make([][]Entry, n)}
+	sc := &s.sc
+	s.prepareScratch(n)
 
 	// Locally originated entries per node: BGP network statements,
-	// redistributed statics (as BGP), and raw statics (RIB/FIB only).
-	locals := make([][]Entry, n)
-	statics := make([][]Entry, n)
+	// redistributed statics (as BGP, from the Model's origin cache), and
+	// raw statics (RIB/FIB only).
+	origins := s.M.Origins()
 	resolve := s.M.resolveFn()
 	for id := 0; id < n; id++ {
 		dev := s.M.Devices[id]
-		for _, r := range dev.OriginatedBGP(resolve) {
+		for _, r := range origins[id] {
 			if overlapsFamily(r.Prefix) {
-				locals[id] = append(locals[id], Entry{Route: r, Cond: logic.True})
+				sc.locals[id] = append(sc.locals[id], Entry{Route: r, Cond: logic.True})
 			}
 		}
 		for _, sr := range dev.Cfg.Statics {
@@ -253,45 +360,68 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 					cond = c
 				}
 			}
-			statics[id] = append(statics[id], Entry{Route: r, Cond: cond})
+			sc.statics[id] = append(sc.statics[id], Entry{Route: r, Cond: cond})
 		}
 	}
 
-	// contrib[node][session] = entries delivered over that session
-	// (post-ingress view); wire[session] = the same updates as sent on the
-	// wire (post-egress, pre-ingress) for BMP-style update logs.
-	contrib := make([]map[int][]Entry, n)
-	for i := range contrib {
-		contrib[i] = map[int][]Entry{}
-	}
-	wire := make([][]Entry, len(s.sessions))
-
-	// bgpRIB assembles node u's ranked BGP entries per prefix:
-	// local BGP entries plus session contributions, plus aggregates.
-	bgpRIB := func(u int) map[netaddr.Prefix][]Entry {
-		byPrefix := map[netaddr.Prefix][]Entry{}
-		add := func(e Entry) { byPrefix[e.Route.Prefix] = append(byPrefix[e.Route.Prefix], e) }
-		for _, e := range locals[u] {
-			add(e)
+	// The run's prefix universe: the family plus every overlapping BGP
+	// origin. It is closed under propagation — policies never rewrite a
+	// route's prefix and aggregates are restricted to the family — so
+	// every RIB assembled during this run indexes into it. Sorting it
+	// once here replaces the per-announce map-key sort of the old path.
+	addPrefix := func(p netaddr.Prefix) {
+		if _, ok := sc.prefixIdx[p]; !ok {
+			sc.prefixIdx[p] = -1
+			sc.prefixes = append(sc.prefixes, p)
 		}
-		for _, es := range contrib[u] {
-			for _, e := range es {
-				add(e)
+	}
+	for _, p := range family {
+		addPrefix(p)
+	}
+	for id := 0; id < n; id++ {
+		for _, e := range sc.locals[id] {
+			addPrefix(e.Route.Prefix)
+		}
+	}
+	sortPrefixes(sc.prefixes)
+	for i, p := range sc.prefixes {
+		sc.prefixIdx[p] = i
+	}
+	for len(sc.slots) < len(sc.prefixes) {
+		sc.slots = append(sc.slots, nil)
+	}
+
+	// bgpRIB assembles node u's ranked BGP entries into the per-prefix
+	// slots: local entries, then session contributions in session order
+	// (deterministic, unlike the map iteration it replaces), then
+	// aggregates; each slot is FIB-ranked in place.
+	bgpRIB := func(u int) {
+		for i := range sc.prefixes {
+			sc.slots[i] = sc.slots[i][:0]
+		}
+		for _, e := range sc.locals[u] {
+			i := sc.prefixIdx[e.Route.Prefix]
+			sc.slots[i] = append(sc.slots[i], e)
+		}
+		for _, si := range s.sessionsTo[u] {
+			for _, e := range sc.contrib[si] {
+				i := sc.prefixIdx[e.Route.Prefix]
+				sc.slots[i] = append(sc.slots[i], e)
 			}
 		}
-		s.applyAggregates(u, byPrefix, inFamily)
-		for p := range byPrefix {
-			s.rank(byPrefix[p], u)
+		s.applyAggregates(u, inFamily)
+		for i := range sc.prefixes {
+			if len(sc.slots[i]) > 1 {
+				s.rank(sc.slots[i], u)
+			}
 		}
-		return byPrefix
 	}
 
-	queue := []int{}
-	inQueue := make([]bool, n)
+	queue := sc.queue
 	for id := 0; id < n; id++ {
-		if len(locals[id]) > 0 {
+		if len(sc.locals[id]) > 0 {
 			queue = append(queue, id)
-			inQueue[id] = true
+			sc.inQueue[id] = true
 		}
 	}
 	maxSteps := s.Opts.MaxSteps
@@ -302,7 +432,6 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	if dampAfter == 0 {
 		dampAfter = 64
 	}
-	changes := make([]int, len(s.sessions))
 	for len(queue) > 0 {
 		if res.Stats.Steps >= maxSteps {
 			return nil, fmt.Errorf("core: propagation for %s exceeded %d steps (divergent policy interaction?)", prefix, maxSteps)
@@ -310,36 +439,40 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 		res.Stats.Steps++
 		u := queue[0]
 		queue = queue[1:]
-		inQueue[u] = false
-		rib := bgpRIB(u)
+		sc.inQueue[u] = false
+		bgpRIB(u)
 		for _, si := range s.sessionsBy[u] {
-			if changes[si] > dampAfter {
+			if sc.changes[si] > dampAfter {
 				continue // oscillation damping (see Stats.FrozenSessions)
 			}
 			se := s.sessions[si]
-			out, _ := s.announce(rib, se, si, &res.Stats)
-			if !s.entriesEqual(contrib[se.to][si], out) {
-				changes[si]++
-				if changes[si] > dampAfter {
+			out, _ := s.announce(se, si, &res.Stats)
+			if !s.entriesEqual(sc.contrib[si], out) {
+				sc.changes[si]++
+				if sc.changes[si] > dampAfter {
 					res.Stats.FrozenSessions++
 					continue
 				}
-				contrib[se.to][si] = out
-				if !inQueue[se.to] {
-					inQueue[se.to] = true
+				sc.contrib[si] = out
+				if !sc.inQueue[se.to] {
+					sc.inQueue[se.to] = true
 					queue = append(queue, int(se.to))
 				}
 			}
 		}
 	}
+	sc.queue = queue[:0]
 
 	// Final RIBs: BGP entries (incl. aggregates) + statics, FIB-ranked.
+	// These are retained by the Result, so they are built fresh, not in
+	// scratch.
 	for id := 0; id < n; id++ {
+		bgpRIB(id)
 		var all []Entry
-		for _, es := range bgpRIB(id) {
-			all = append(all, es...)
+		for i := range sc.prefixes {
+			all = append(all, sc.slots[i]...)
 		}
-		all = append(all, statics[id]...)
+		all = append(all, sc.statics[id]...)
 		s.rank(all, id)
 		res.ribs[id] = all
 	}
@@ -348,11 +481,12 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	// BMP-style update logs to find latent VSBs (Figure 6's R2, whose RIB
 	// matches but whose updates differ). This runs after convergence so
 	// updates the receiver drops are still logged.
+	wire := make([][]Entry, len(s.sessions))
 	var scratch Stats
 	for u := 0; u < n; u++ {
-		rib := bgpRIB(u)
+		bgpRIB(u)
 		for _, si := range s.sessionsBy[u] {
-			_, sent := s.announce(rib, s.sessions[si], si, &scratch)
+			_, sent := s.announce(s.sessions[si], si, &scratch)
 			wire[si] = sent
 		}
 	}
@@ -377,30 +511,27 @@ func (r *Result) SessionUpdates(from, to topo.NodeID) ([]Entry, bool) {
 }
 
 // announce computes the contribution of one session from the sender's
-// ranked per-prefix RIB: exclusive guards, egress pipeline, pruning,
-// receiver ingress pipeline. It returns the delivered (post-ingress)
-// entries and the wire-view (post-egress) updates.
-func (s *Simulator) announce(rib map[netaddr.Prefix][]Entry, se session, si int, stats *Stats) (out, sent []Entry) {
+// ranked per-prefix RIB (the scratch slots bgpRIB just assembled):
+// exclusive guards, egress pipeline, pruning, receiver ingress pipeline.
+// It returns the delivered (post-ingress) entries and the wire-view
+// (post-egress) updates. Slots are visited in universe order, which is
+// sorted once per run — the per-call map-key sort is gone.
+func (s *Simulator) announce(se session, si int, stats *Stats) (out, sent []Entry) {
 	devU := s.M.Devices[se.from]
 	devV := s.M.Devices[se.to]
 	sessCond := s.sessionCond(si)
 	if sessCond == logic.False {
 		return nil, nil
 	}
-	prefixes := make([]netaddr.Prefix, 0, len(rib))
-	for p := range rib {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool {
-		if prefixes[i].Addr != prefixes[j].Addr {
-			return prefixes[i].Addr < prefixes[j].Addr
+	sc := &s.sc
+	for pi := range sc.prefixes {
+		entries := sc.slots[pi]
+		if len(entries) == 0 {
+			continue
 		}
-		return prefixes[i].Len < prefixes[j].Len
-	})
-	for _, p := range prefixes {
 		notHigher := logic.True
 		kept := 0
-		for _, ent := range rib[p] {
+		for _, ent := range entries {
 			if ent.Route.Protocol != route.EBGP && ent.Route.Protocol != route.IBGP {
 				continue // statics don't advertise unless redistributed
 			}
@@ -456,19 +587,28 @@ func (s *Simulator) rank(es []Entry, at int) {
 		}
 		return s.M.Net.Node(e.Route.FromNode).RouterID
 	}
-	less := func(a, b Entry) bool {
+	cmp := func(a, b Entry) int {
 		if route.Better(a.Route, b.Route, ridOf(a), ridOf(b)) {
-			return true
+			return -1
 		}
 		if route.Better(b.Route, a.Route, ridOf(b), ridOf(a)) {
-			return false
+			return 1
 		}
 		if a.Route.FromNode != b.Route.FromNode {
-			return a.Route.FromNode < b.Route.FromNode
+			if a.Route.FromNode < b.Route.FromNode {
+				return -1
+			}
+			return 1
 		}
-		return a.Cond < b.Cond
+		if a.Cond != b.Cond {
+			if a.Cond < b.Cond {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	}
-	var bgp, other []Entry
+	bgp, other := s.sc.rankBGP[:0], s.sc.rankOther[:0]
 	for _, e := range es {
 		if e.Route.IsBGP() {
 			bgp = append(bgp, e)
@@ -476,8 +616,8 @@ func (s *Simulator) rank(es []Entry, at int) {
 			other = append(other, e)
 		}
 	}
-	sort.SliceStable(bgp, func(i, j int) bool { return less(bgp[i], bgp[j]) })
-	sort.SliceStable(other, func(i, j int) bool { return less(other[i], other[j]) })
+	slices.SortStableFunc(bgp, cmp)
+	slices.SortStableFunc(other, cmp)
 	i, j := 0, 0
 	for k := range es {
 		switch {
@@ -496,16 +636,38 @@ func (s *Simulator) rank(es []Entry, at int) {
 			i++
 		}
 	}
+	s.sc.rankBGP, s.sc.rankOther = bgp, other // keep grown capacity
+}
+
+// sortPrefixes orders the run's prefix universe by address then length.
+func sortPrefixes(ps []netaddr.Prefix) {
+	slices.SortFunc(ps, func(a, b netaddr.Prefix) int {
+		if a.Addr != b.Addr {
+			if a.Addr < b.Addr {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Len) - int(b.Len)
+	})
 }
 
 // applyAggregates injects aggregate entries and re-guards component
 // entries at aggregation points (§5.3): the aggregate exists when every
 // component is present; summary-only suppresses components while the
-// aggregate is active, keeping the rules mutually exclusive.
-func (s *Simulator) applyAggregates(u int, byPrefix map[netaddr.Prefix][]Entry, inFamily map[netaddr.Prefix]bool) {
+// aggregate is active, keeping the rules mutually exclusive. It operates
+// on the scratch slots bgpRIB is assembling.
+func (s *Simulator) applyAggregates(u int, inFamily map[netaddr.Prefix]bool) {
 	cfg := s.M.Configs[u]
 	if cfg.BGP == nil {
 		return
+	}
+	sc := &s.sc
+	slotOf := func(p netaddr.Prefix) ([]Entry, int) {
+		if i, ok := sc.prefixIdx[p]; ok {
+			return sc.slots[i], i
+		}
+		return nil, -1
 	}
 	for _, agg := range cfg.BGP.Aggregates {
 		if !inFamily[agg.Prefix] {
@@ -515,7 +677,8 @@ func (s *Simulator) applyAggregates(u int, byPrefix map[netaddr.Prefix][]Entry, 
 		complete := true
 		for _, c := range agg.Components {
 			compCond := logic.False
-			for _, e := range byPrefix[c] {
+			comp, _ := slotOf(c)
+			for _, e := range comp {
 				compCond = s.F.Or(compCond, e.Cond)
 			}
 			if compCond == logic.False {
@@ -531,17 +694,21 @@ func (s *Simulator) applyAggregates(u int, byPrefix map[netaddr.Prefix][]Entry, 
 		r.OriginAtt = route.OriginIncomplete
 		// Replace any previous aggregate entry for this prefix that we
 		// generated (identified by OriginNode == u and empty AS path).
-		kept := byPrefix[agg.Prefix][:0]
-		for _, e := range byPrefix[agg.Prefix] {
+		aggEntries, ai := slotOf(agg.Prefix) // in family, so always present
+		kept := aggEntries[:0]
+		for _, e := range aggEntries {
 			if !(e.Route.OriginNode == topo.NodeID(u) && len(e.Route.ASPath) == 0 && e.Route.OriginAtt == route.OriginIncomplete) {
 				kept = append(kept, e)
 			}
 		}
-		byPrefix[agg.Prefix] = append(kept, Entry{Route: r, Cond: aggCond})
+		sc.slots[ai] = append(kept, Entry{Route: r, Cond: aggCond})
 		if agg.SummaryOnly {
 			notAgg := s.F.Not(aggCond)
 			for _, c := range agg.Components {
-				es := byPrefix[c]
+				es, ci := slotOf(c)
+				if ci < 0 {
+					continue
+				}
 				for i := range es {
 					es[i].Cond = s.F.And(es[i].Cond, notAgg)
 				}
@@ -552,7 +719,7 @@ func (s *Simulator) applyAggregates(u int, byPrefix map[netaddr.Prefix][]Entry, 
 						kept = append(kept, e)
 					}
 				}
-				byPrefix[c] = kept
+				sc.slots[ci] = kept
 			}
 		}
 	}

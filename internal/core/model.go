@@ -19,26 +19,46 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hoyan/internal/behavior"
 	"hoyan/internal/config"
 	"hoyan/internal/igp"
 	"hoyan/internal/netaddr"
+	"hoyan/internal/route"
 	"hoyan/internal/topo"
 )
 
 // Model is the assembled network model (§4.2): behavior models of every
-// device wired together by the topology.
+// device wired together by the topology. A Model is immutable after
+// Assemble and safe for concurrent use by any number of simulators —
+// the sweep engine builds one Model per run and shares it across all
+// worker goroutines (see Shared).
 type Model struct {
 	Net     *topo.Network
 	Devices []*behavior.Device // indexed by NodeID
 	Configs []*config.Device   // indexed by NodeID
+
+	// origins caches per-device OriginatedBGP results (read-only routes,
+	// indexed by NodeID). Computed once on first use; consumers must not
+	// mutate the returned routes (behavior pipelines Clone before edits).
+	originsOnce sync.Once
+	origins     [][]route.Route
 }
+
+// assembleCalls counts Assemble invocations process-wide. Tests use it
+// to assert the sweep engine assembles exactly one model per run.
+var assembleCalls atomic.Int64
+
+// AssembleCalls reports how many times Assemble has run in this process.
+func AssembleCalls() int64 { return assembleCalls.Load() }
 
 // Assemble binds configurations to topology nodes under the behavior
 // profiles of reg. Every node must have a configuration whose hostname
 // matches its node name.
 func Assemble(net *topo.Network, snap config.Snapshot, reg *behavior.Registry) (*Model, error) {
+	assembleCalls.Add(1)
 	m := &Model{
 		Net:     net,
 		Devices: make([]*behavior.Device, net.NumNodes()),
@@ -74,13 +94,27 @@ func (m *Model) Resolve(name string) (topo.NodeID, bool) {
 	return n.ID, true
 }
 
+// Origins returns the cached per-node BGP origination lists (network
+// statements and redistributed statics), computed once per Model. The
+// routes are shared read-only: callers must copy before mutating.
+func (m *Model) Origins() [][]route.Route {
+	m.originsOnce.Do(func() {
+		resolve := m.resolveFn()
+		m.origins = make([][]route.Route, len(m.Devices))
+		for id, dev := range m.Devices {
+			m.origins[id] = dev.OriginatedBGP(resolve)
+		}
+	})
+	return m.origins
+}
+
 // AnnouncersOf returns the nodes that originate a BGP route for (or an
 // aggregate covering) the prefix: network statements and redistributed
 // statics.
 func (m *Model) AnnouncersOf(p netaddr.Prefix) []topo.NodeID {
 	var out []topo.NodeID
-	for id, dev := range m.Devices {
-		for _, r := range dev.OriginatedBGP(m.resolveFn()) {
+	for id, routes := range m.Origins() {
+		for _, r := range routes {
 			if r.Prefix == p || r.Prefix.Covers(p) {
 				out = append(out, topo.NodeID(id))
 				break
@@ -96,8 +130,8 @@ func (m *Model) AnnouncersOf(p netaddr.Prefix) []topo.NodeID {
 // verification run.
 func (m *Model) AnnouncedPrefixes() []netaddr.Prefix {
 	var trie netaddr.Trie[bool]
-	for _, dev := range m.Devices {
-		for _, r := range dev.OriginatedBGP(m.resolveFn()) {
+	for _, routes := range m.Origins() {
+		for _, r := range routes {
 			trie.Insert(r.Prefix, true)
 		}
 	}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"hoyan/internal/igp"
+)
+
+// Shared is the immutable, sweep-wide half of simulation state: the
+// assembled model plus every prefix-independent computation worth doing
+// exactly once per run — today the IGP path-vector fixpoints behind iBGP
+// session conditions, snapshotted as a factory-independent igp.Memo.
+// The mutable half (formula factory, IGP engine, per-run scratch) lives
+// on each Simulator.
+//
+// Build one Shared per sweep and call NewSimulator per worker goroutine:
+// workers then skip both model assembly and the per-engine IGP
+// propagation storm. A Shared is safe for concurrent use.
+type Shared struct {
+	M    *Model
+	Opts Options
+
+	memo *igp.Memo
+}
+
+// NewShared runs the one-time prefix-independent work for simulating m
+// under opts: it resolves every iBGP session condition on a canonical
+// engine (forcing the underlying per-destination IGP propagations) and
+// snapshots the computed RIBs for reuse by every simulator derived from
+// this Shared.
+func NewShared(m *Model, opts Options) *Shared {
+	sh := &Shared{M: m, Opts: opts}
+	m.Origins() // warm the origination cache before workers race to it
+
+	// Canonical pass: a throwaway simulator whose only job is to force
+	// the lazy iBGP session conditions, populating its engine's RIB memo.
+	canon := NewSimulator(m, opts)
+	canon.SessionList()
+	sh.memo = canon.IGP.Snapshot()
+	return sh
+}
+
+// IGPMemo exposes the snapshot for engines managed outside core.
+func (sh *Shared) IGPMemo() *igp.Memo { return sh.memo }
+
+// NewSimulator derives a fresh per-worker simulator: its own formula
+// factory and IGP engine (factories are not safe for concurrent use),
+// seeded with the shared IGP memo so session conditions replay from the
+// snapshot instead of re-running propagation.
+func (sh *Shared) NewSimulator() *Simulator {
+	s := NewSimulator(sh.M, sh.Opts)
+	s.shared = sh
+	s.IGP.Seed(sh.memo)
+	return s
+}

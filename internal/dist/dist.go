@@ -71,10 +71,14 @@ type Worker struct {
 
 	// The model is assembled once per worker (not per connection) and
 	// shared: it is read-only after Assemble, and each connection gets
-	// private Simulators.
+	// private Simulators. Per failure-budget k the worker also keeps a
+	// core.Shared carrying the one-time IGP snapshot, so simulators on
+	// every connection replay shortest paths instead of recomputing them.
 	modelOnce sync.Once
 	model     *core.Model
 	modelErr  error
+	sharedMu  sync.Mutex
+	shareds   map[int]*core.Shared
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -154,6 +158,28 @@ func (w *Worker) assemble() (*core.Model, error) {
 	return w.model, w.modelErr
 }
 
+// sharedFor returns the worker-wide Shared for failure budget k,
+// building it (and its IGP snapshot) on first use.
+func (w *Worker) sharedFor(k int) (*core.Shared, error) {
+	model, err := w.assemble()
+	if err != nil {
+		return nil, err
+	}
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	if w.shareds == nil {
+		w.shareds = map[int]*core.Shared{}
+	}
+	sh := w.shareds[k]
+	if sh == nil {
+		opts := core.DefaultOptions()
+		opts.K = k
+		sh = core.NewShared(model, opts)
+		w.shareds[k] = sh
+	}
+	return sh, nil
+}
+
 // handle processes one coordinator connection: a stream of requests, one
 // simulator per (connection, k) reused across prefixes for IGP warmth.
 func (w *Worker) handle(conn net.Conn) {
@@ -184,16 +210,15 @@ func (w *Worker) answer(req Request, sims map[int]*core.Simulator) Response {
 		resp.Error = err.Error()
 		return resp
 	}
-	model, err := w.assemble()
+	sh, err := w.sharedFor(req.K)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
+	model := sh.M
 	sim := sims[req.K]
 	if sim == nil {
-		opts := core.DefaultOptions()
-		opts.K = req.K
-		sim = core.NewSimulator(model, opts)
+		sim = sh.NewSimulator()
 		sims[req.K] = sim
 	}
 	res, err := sim.Run(p)
@@ -351,10 +376,10 @@ type Result struct {
 type evKind int
 
 const (
-	evDone evKind = iota
-	evFail      // application-level error from the worker
-	evRequeue   // connection died with the job in flight
-	evDead      // worker abandoned
+	evDone    evKind = iota
+	evFail           // application-level error from the worker
+	evRequeue        // connection died with the job in flight
+	evDead           // worker abandoned
 )
 
 type event struct {

@@ -11,7 +11,7 @@
 package igp
 
 import (
-	"sort"
+	"slices"
 
 	"hoyan/internal/config"
 	"hoyan/internal/logic"
@@ -70,6 +70,12 @@ type Engine struct {
 	opts Options
 	cfg  []nodeISIS
 	ribs map[topo.NodeID]map[topo.NodeID][]Entry // dst -> node -> entries
+
+	// Seeded cross-engine memo (see memo.go). memoConds caches the
+	// one-time Import of the memo's conditions into this engine's factory.
+	memo       *Memo
+	memoConds  []logic.F
+	memoLoaded bool
 }
 
 // New builds an engine. configs maps node ID to the device configuration
@@ -119,7 +125,10 @@ func (e *Engine) RIB(dst topo.NodeID) map[topo.NodeID][]Entry {
 	if rib, ok := e.ribs[dst]; ok {
 		return rib
 	}
-	rib := e.propagate(dst)
+	rib, ok := e.fromMemo(dst)
+	if !ok {
+		rib = e.propagate(dst)
+	}
 	e.ribs[dst] = rib
 	return rib
 }
@@ -139,6 +148,26 @@ func better(a, b Entry) bool {
 		}
 	}
 	return false
+}
+
+// cmpEntry is better as a three-way comparison for slices.SortFunc
+// (which, unlike sort.Slice, sorts without reflection allocations).
+func cmpEntry(a, b Entry) int {
+	if a.Weight != b.Weight {
+		if a.Weight < b.Weight {
+			return -1
+		}
+		return 1
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) - len(b.Path)
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return int(a.Path[i]) - int(b.Path[i])
+		}
+	}
+	return 0
 }
 
 // propagate runs the path-vector fixpoint for one destination. Every node
@@ -168,7 +197,7 @@ func (e *Engine) propagate(dst topo.NodeID) map[topo.NodeID][]Entry {
 		for _, es := range contrib[n] {
 			all = append(all, es...)
 		}
-		sort.Slice(all, func(i, j int) bool { return better(all[i], all[j]) })
+		slices.SortFunc(all, cmpEntry)
 		if e.opts.MaxAlternatives > 0 && len(all) > e.opts.MaxAlternatives {
 			all = all[:e.opts.MaxAlternatives]
 		}

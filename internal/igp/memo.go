@@ -1,0 +1,133 @@
+// IGP SPF memoization across engines. An Engine already memoizes
+// propagate per destination, but that cache is private to one engine —
+// and one engine exists per simulator, so a sweep with W workers used to
+// run the same path-vector fixpoints W times. A Memo lifts the computed
+// RIBs out of an engine into an immutable, factory-independent snapshot
+// that any number of later engines can be seeded from: the hundreds of
+// prefixes homed on the same gateway (and the iBGP session conditions
+// between the same routers) then reuse one shortest-path computation
+// per destination for the whole sweep.
+//
+// Invalidation rule: a Memo is valid exactly for the (topology, configs,
+// Options) triple of the engine it was snapshotted from. Engines never
+// mutate computed RIBs, and topo.Network and config.Device are immutable
+// after build, so there is no in-place invalidation — a changed snapshot
+// or different options means computing a fresh Memo. core.NewShared
+// enforces this by construction: the memo lives on the Shared model that
+// also owns the topology and configs it was derived from.
+package igp
+
+import (
+	"slices"
+
+	"hoyan/internal/logic"
+	"hoyan/internal/topo"
+)
+
+// Memo is an immutable snapshot of an Engine's computed per-destination
+// RIBs. Conditions are stored as a factory-independent logic.Portable,
+// so seeding replays them into the receiving engine's own factory.
+// Entry paths are shared (read-only) between the memo and every seeded
+// engine. A Memo is safe for concurrent use by many engines.
+type Memo struct {
+	portable *logic.Portable
+	dsts     map[topo.NodeID]memoRIB
+}
+
+type memoRIB struct {
+	nodes   []topo.NodeID
+	entries [][]memoEntry // parallel to nodes
+}
+
+type memoEntry struct {
+	weight uint32
+	path   []topo.NodeID
+	cond   int32 // index into portable's roots
+	level  Level
+}
+
+// Snapshot exports every destination RIB the engine has computed so far.
+// Call it after forcing the destinations of interest (e.g. resolving all
+// iBGP session conditions once); destinations never computed on this
+// engine are simply absent and fall back to local propagation in seeded
+// engines.
+func (e *Engine) Snapshot() *Memo {
+	m := &Memo{dsts: make(map[topo.NodeID]memoRIB, len(e.ribs))}
+	var roots []logic.F
+	dsts := make([]topo.NodeID, 0, len(e.ribs))
+	for dst := range e.ribs {
+		dsts = append(dsts, dst)
+	}
+	slices.Sort(dsts) // deterministic export order
+	for _, dst := range dsts {
+		rib := e.ribs[dst]
+		nodes := make([]topo.NodeID, 0, len(rib))
+		for n := range rib {
+			nodes = append(nodes, n)
+		}
+		slices.Sort(nodes)
+		mr := memoRIB{nodes: nodes, entries: make([][]memoEntry, len(nodes))}
+		for i, n := range nodes {
+			src := rib[n]
+			out := make([]memoEntry, len(src))
+			for j, ent := range src {
+				out[j] = memoEntry{
+					weight: ent.Weight,
+					path:   ent.Path, // shared read-only
+					cond:   int32(len(roots)),
+					level:  ent.Level,
+				}
+				roots = append(roots, ent.Cond)
+			}
+			mr.entries[i] = out
+		}
+		m.dsts[dst] = mr
+	}
+	m.portable = e.f.Export(roots...)
+	return m
+}
+
+// NumDestinations reports how many destination RIBs the memo carries.
+func (m *Memo) NumDestinations() int { return len(m.dsts) }
+
+// Seed installs the memo as a read-through source for this engine's RIB
+// lookups. Destinations present in the memo are materialized on demand
+// (conditions imported into e's factory once, on first use); others
+// still run propagate locally. Seeding after RIB calls is allowed — the
+// local cache wins for destinations already computed.
+func (e *Engine) Seed(m *Memo) {
+	e.memo = m
+	e.memoConds = nil
+	e.memoLoaded = false
+}
+
+// fromMemo materializes dst's RIB from the seeded memo, or reports that
+// the memo does not cover dst.
+func (e *Engine) fromMemo(dst topo.NodeID) (map[topo.NodeID][]Entry, bool) {
+	if e.memo == nil {
+		return nil, false
+	}
+	mr, ok := e.memo.dsts[dst]
+	if !ok {
+		return nil, false
+	}
+	if !e.memoLoaded {
+		e.memoConds = e.memo.portable.Import(e.f)
+		e.memoLoaded = true
+	}
+	rib := make(map[topo.NodeID][]Entry, len(mr.nodes))
+	for i, n := range mr.nodes {
+		src := mr.entries[i]
+		out := make([]Entry, len(src))
+		for j, me := range src {
+			out[j] = Entry{
+				Weight: me.weight,
+				Path:   me.path,
+				Cond:   e.memoConds[me.cond],
+				Level:  me.level,
+			}
+		}
+		rib[n] = out
+	}
+	return rib, true
+}

@@ -23,6 +23,12 @@ type bddSpace struct {
 	// negMemo[n] caches negation per node (0 = unset; node 0 never needs
 	// a cache entry since negate() short-circuits terminals).
 	negMemo []int32
+	// extractMemo caches Simplify's BDD→formula extraction per node. The
+	// extraction of a node is a pure function of the (immutable) node, so
+	// the cache persists for the life of the space; repeated Simplify
+	// calls over overlapping conditions — the common case inside one
+	// simulation — reuse it instead of re-walking shared subgraphs.
+	extractMemo map[int32]F
 }
 
 const (
@@ -366,7 +372,10 @@ func (f *Factory) Simplify(x F) F {
 	case bddTrue:
 		return True
 	}
-	extracted := f.extract(root, make(map[int32]F))
+	if f.bdd.extractMemo == nil {
+		f.bdd.extractMemo = make(map[int32]F, 1024)
+	}
+	extracted := f.extract(root, f.bdd.extractMemo)
 	if f.Len(extracted) < f.Len(x) {
 		return extracted
 	}

@@ -179,22 +179,37 @@ func (f *Factory) Or(a, b F) F {
 	return f.mk(nodeKey{k: kOr, a: a, b: b}, f.sumSize(a, b))
 }
 
-// AndAll folds And over fs; the conjunction of nothing is True.
+// AndAll combines fs as a balanced binary tree; the conjunction of
+// nothing is True. Balancing keeps the DAG depth logarithmic in len(fs)
+// instead of linear, which bounds recursion depth in downstream
+// traversals (BDD build, Substitute) and exposes more sharing between
+// sibling subtrees than a left fold does.
 func (f *Factory) AndAll(fs ...F) F {
-	acc := True
-	for _, x := range fs {
-		acc = f.And(acc, x)
+	switch len(fs) {
+	case 0:
+		return True
+	case 1:
+		return fs[0]
+	case 2:
+		return f.And(fs[0], fs[1])
 	}
-	return acc
+	mid := len(fs) / 2
+	return f.And(f.AndAll(fs[:mid]...), f.AndAll(fs[mid:]...))
 }
 
-// OrAll folds Or over fs; the disjunction of nothing is False.
+// OrAll combines fs as a balanced binary tree, dual to AndAll; the
+// disjunction of nothing is False.
 func (f *Factory) OrAll(fs ...F) F {
-	acc := False
-	for _, x := range fs {
-		acc = f.Or(acc, x)
+	switch len(fs) {
+	case 0:
+		return False
+	case 1:
+		return fs[0]
+	case 2:
+		return f.Or(fs[0], fs[1])
 	}
-	return acc
+	mid := len(fs) / 2
+	return f.Or(f.OrAll(fs[:mid]...), f.OrAll(fs[mid:]...))
 }
 
 func (f *Factory) sumSize(a, b F) int32 {

@@ -1,0 +1,95 @@
+package logic
+
+// Portable is a factory-independent snapshot of one or more formulas.
+// It stores the reachable DAG in dependency order, so the same
+// conditions can be rebuilt inside any Factory — the mechanism the
+// sweep engine uses to compute IGP reachability conditions once and
+// replay them into every worker's formula universe instead of paying
+// the path-vector propagation per worker (DESIGN.md, "Sweep engine").
+//
+// A Portable is immutable after Export and safe for concurrent Import
+// into distinct factories.
+type Portable struct {
+	nodes []pnode
+	roots []int32
+}
+
+// pnode mirrors node but its children reference indices within the
+// Portable's own node slice (0 = False, 1 = True), not any factory.
+type pnode struct {
+	k    kind
+	v    Var
+	a, b int32
+}
+
+// Export encodes the formulas rooted at roots. Shared subterms are
+// stored once; the i-th exported root corresponds to the i-th formula
+// returned by Import.
+func (f *Factory) Export(roots ...F) *Portable {
+	p := &Portable{nodes: make([]pnode, 2, 2+len(roots))}
+	p.nodes[False] = pnode{k: kConst}
+	p.nodes[True] = pnode{k: kConst}
+	memo := make(map[F]int32, 2*len(roots)+16)
+	memo[False] = 0
+	memo[True] = 1
+	var rec func(F) int32
+	rec = func(x F) int32 {
+		if id, ok := memo[x]; ok {
+			return id
+		}
+		n := f.nodes[x]
+		var nd pnode
+		switch n.k {
+		case kVar:
+			nd = pnode{k: kVar, v: n.v}
+		case kNot:
+			nd = pnode{k: kNot, a: rec(n.a)}
+		default: // kAnd, kOr
+			nd = pnode{k: n.k, a: rec(n.a), b: rec(n.b)}
+		}
+		id := int32(len(p.nodes))
+		p.nodes = append(p.nodes, nd)
+		memo[x] = id
+		return id
+	}
+	p.roots = make([]int32, len(roots))
+	for i, r := range roots {
+		p.roots[i] = rec(r)
+	}
+	return p
+}
+
+// NumRoots reports how many formulas the snapshot carries.
+func (p *Portable) NumRoots() int { return len(p.roots) }
+
+// NumNodes reports the size of the stored DAG including the constants.
+func (p *Portable) NumNodes() int { return len(p.nodes) }
+
+// Import rebuilds the snapshot inside f and returns one F per exported
+// root, in Export order. Reconstruction goes through the ordinary
+// constructors, so hash-consing and the local simplifications apply:
+// importing into the factory that exported the snapshot yields formulas
+// equivalent to the originals, and importing twice is idempotent.
+func (p *Portable) Import(f *Factory) []F {
+	ids := make([]F, len(p.nodes))
+	ids[False] = False
+	ids[True] = True
+	for i := 2; i < len(p.nodes); i++ {
+		n := p.nodes[i]
+		switch n.k {
+		case kVar:
+			ids[i] = f.Var(n.v)
+		case kNot:
+			ids[i] = f.Not(ids[n.a])
+		case kAnd:
+			ids[i] = f.And(ids[n.a], ids[n.b])
+		default:
+			ids[i] = f.Or(ids[n.a], ids[n.b])
+		}
+	}
+	out := make([]F, len(p.roots))
+	for i, r := range p.roots {
+		out[i] = ids[r]
+	}
+	return out
+}

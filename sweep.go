@@ -24,6 +24,11 @@ type PrefixSummary struct {
 	SimTime time.Duration
 }
 
+// resetEvery is how many prefixes a sweep worker simulates before
+// recycling its simulator (fresh formula arena, IGP re-seeded from the
+// shared memo). See the "Sweep engine" section of DESIGN.md.
+const resetEvery = 1
+
 // SweepReport aggregates a whole-network verification run.
 type SweepReport struct {
 	Prefixes []PrefixSummary
@@ -36,9 +41,12 @@ type SweepReport struct {
 
 // Sweep verifies every announced prefix at every BGP router, sharded over
 // `workers` goroutines — the deployment mode of §8 ("50 threads ... Hoyan
-// could be run in a distributed way"). Each worker owns an independent
-// simulator (formula factory and IGP engine are not shared), so the sweep
-// is embarrassingly parallel like the paper's per-prefix parallelism.
+// could be run in a distributed way"). The model is assembled exactly
+// once and shared read-only across workers together with a snapshot of
+// the IGP shortest-path computations (core.Shared); each worker owns only
+// the cheap mutable half — formula factory, IGP engine, scratch — so the
+// sweep stays embarrassingly parallel like the paper's per-prefix
+// parallelism without re-doing prefix-independent work per goroutine.
 // workers <= 0 uses GOMAXPROCS.
 func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	if len(n.errs) > 0 {
@@ -77,6 +85,7 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	}
 
 	start := time.Now()
+	shared := core.NewShared(model, copts)
 	type shardResult struct {
 		summaries  []PrefixSummary
 		violations []Violation
@@ -88,17 +97,20 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
-			// Each worker re-assembles its own model so behavior devices
-			// and the simulator state are fully private to the goroutine.
-			m, err := core.Assemble(n.net, n.snap, reg)
-			if err != nil {
-				results[wkr].err = err
-				return
-			}
-			sim := core.NewSimulator(m, copts)
+			m := model // shared, immutable after Assemble
+			sim := shared.NewSimulator()
+			done := 0
 			for i := wkr; i < len(prefixes); i += workers {
 				p := prefixes[i]
 				t0 := time.Now()
+				// Unrelated prefixes share no conditions, so the formula
+				// arena only grows across runs; periodic resets keep both
+				// memory and hash-cons lookup costs flat. Re-seeding from
+				// the shared IGP memo makes a reset cheap.
+				if done > 0 && done%resetEvery == 0 {
+					sim.Reset()
+				}
+				done++
 				res, err := sim.Run(p)
 				if err != nil {
 					results[wkr].err = err

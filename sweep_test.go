@@ -5,13 +5,19 @@ import (
 	"testing"
 
 	"hoyan/internal/config"
+	"hoyan/internal/core"
 	"hoyan/internal/gen"
 )
 
 // wanNetwork converts a generated WAN into a public-API Network.
 func wanNetwork(t testing.TB) (*Network, *gen.WAN) {
 	t.Helper()
-	w, err := gen.Generate(gen.Small())
+	return wanNetworkFrom(t, gen.Small())
+}
+
+func wanNetworkFrom(t testing.TB, params gen.Params) (*Network, *gen.WAN) {
+	t.Helper()
+	w, err := gen.Generate(params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +62,60 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	}
 	if !strings.Contains(parallel.String(), "sweep:") {
 		t.Fatal("report rendering")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the regression gate for the
+// shared-model engine: results are BDD-based, so sharding the prefix
+// space differently must not change a single verdict. Compares a
+// 1-worker and an 8-worker sweep of the medium WAN field-by-field,
+// ignoring only the timing fields (SimTime, Duration).
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-WAN sweep; skipped with -short")
+	}
+	n, w := wanNetworkFrom(t, gen.Medium())
+	one, err := n.Sweep(Options{K: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := n.Sweep(Options{K: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Prefixes) != len(w.Prefixes()) {
+		t.Fatalf("sweep covered %d prefixes, want %d", len(one.Prefixes), len(w.Prefixes()))
+	}
+	if len(one.Prefixes) != len(eight.Prefixes) {
+		t.Fatalf("1 worker saw %d prefixes, 8 workers saw %d", len(one.Prefixes), len(eight.Prefixes))
+	}
+	for i := range one.Prefixes {
+		a, b := one.Prefixes[i], eight.Prefixes[i]
+		a.SimTime, b.SimTime = 0, 0
+		if a != b {
+			t.Fatalf("prefix %d differs across worker counts:\n  1 worker:  %+v\n  8 workers: %+v", i, a, b)
+		}
+	}
+	if len(one.Violations) != len(eight.Violations) {
+		t.Fatalf("violations differ: %d vs %d", len(one.Violations), len(eight.Violations))
+	}
+	for i := range one.Violations {
+		if one.Violations[i] != eight.Violations[i] {
+			t.Fatalf("violation %d differs: %+v vs %+v", i, one.Violations[i], eight.Violations[i])
+		}
+	}
+}
+
+// TestSweepAssemblesModelOnce pins the assemble-once contract: a sweep
+// builds exactly one core.Model no matter how many workers run.
+func TestSweepAssemblesModelOnce(t *testing.T) {
+	n, _ := wanNetwork(t)
+	before := core.AssembleCalls()
+	if _, err := n.Sweep(Options{K: 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.AssembleCalls() - before; got != 1 {
+		t.Fatalf("Sweep assembled the model %d times, want exactly 1", got)
 	}
 }
 
