@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# bench-compare diffs the latest two committed perf snapshots
+# (BENCH_*.json) with per-metric deltas. Advisory: a regression prints
+# loudly but never fails the build — snapshot timings come from whatever
+# machine recorded them, so CI can't hold new code to them.
+bench-compare:
+	-$(GO) run ./cmd/benchcompare
+
 # check is the CI gate: vet plus the full suite under the race detector.
 # The dist/collector chaos tests run here too — they are deterministic
 # (seeded faultnet, byte-budget fault schedules), so no flake allowance.
-check: vet race bench
+check: vet race bench bench-compare

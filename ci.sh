@@ -9,3 +9,7 @@ go test -race ./...
 # Benchmark smoke: one iteration of every benchmark keeps the evaluation
 # harness honest without turning CI into a timing run.
 go test -bench=. -benchtime=1x -run='^$' .
+# Perf trajectory: diff the latest two BENCH_*.json snapshots. Advisory
+# only — snapshot timings come from the machine that recorded them, so a
+# delta here informs rather than gates.
+go run ./cmd/benchcompare || echo "benchcompare: advisory, ignoring failure"

@@ -1,0 +1,217 @@
+// Command benchcompare diffs the perf-trajectory snapshots written by
+// `hoyanbench -perf` (BENCH_*.json) and prints per-metric deltas.
+//
+//	benchcompare                 # latest two BENCH_*.json in the CWD
+//	benchcompare old.json new.json
+//
+// With no arguments it globs BENCH_*.json, sorts by name, and compares
+// the last two; if only one file exists it compares labels within that
+// file (before vs after). Matching labels are diffed group by group:
+// numeric metrics get absolute and percentage deltas, with negative
+// percentages meaning the metric shrank. The comparison is advisory — CI
+// runs it non-fatally so a perf regression is visible without blocking
+// the gate (timing on shared runners is too noisy to hard-fail on).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory to scan for BENCH_*.json when no files are given")
+	flag.Parse()
+
+	var err error
+	switch flag.NArg() {
+	case 0:
+		err = compareLatest(*dir)
+	case 2:
+		err = compareFiles(flag.Arg(0), flag.Arg(1))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [old.json new.json]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+// compareLatest picks the latest two snapshot files by name (BENCH_PR2 <
+// BENCH_PR3, matching the PR sequence) or falls back to within-file
+// label comparison when only one exists.
+func compareLatest(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	switch len(files) {
+	case 0:
+		return fmt.Errorf("no BENCH_*.json in %s", dir)
+	case 1:
+		doc, err := load(files[0])
+		if err != nil {
+			return err
+		}
+		a, b, ok := labelPair(doc)
+		if !ok {
+			return fmt.Errorf("%s: need two labels to compare", files[0])
+		}
+		fmt.Printf("%s: %q vs %q\n", filepath.Base(files[0]), a, b)
+		fmt.Print(diffSnapshots(snapshot(doc, a), snapshot(doc, b)))
+		return nil
+	default:
+		return compareFiles(files[len(files)-2], files[len(files)-1])
+	}
+}
+
+// compareFiles diffs every label the two files share; labels only one
+// side has are listed but not diffed.
+func compareFiles(oldPath, newPath string) error {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	shared := false
+	for _, label := range labels(oldDoc) {
+		if _, ok := newDoc[label]; !ok {
+			continue
+		}
+		shared = true
+		fmt.Printf("%s vs %s: %q\n", filepath.Base(oldPath), filepath.Base(newPath), label)
+		fmt.Print(diffSnapshots(snapshot(oldDoc, label), snapshot(newDoc, label)))
+	}
+	if !shared {
+		return fmt.Errorf("%s and %s share no labels", oldPath, newPath)
+	}
+	return nil
+}
+
+func load(path string) (map[string]any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := map[string]any{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// labels returns the snapshot labels of a document in sorted order,
+// skipping the "_methodology"-style metadata keys.
+func labels(doc map[string]any) []string {
+	var out []string
+	for k, v := range doc {
+		if strings.HasPrefix(k, "_") {
+			continue
+		}
+		if _, ok := v.(map[string]any); ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// labelPair picks the (old, new) labels within one file: before/after if
+// both exist, else the first two in sorted order.
+func labelPair(doc map[string]any) (string, string, bool) {
+	ls := labels(doc)
+	has := func(want string) bool {
+		for _, l := range ls {
+			if l == want {
+				return true
+			}
+		}
+		return false
+	}
+	if has("before") && has("after") {
+		return "before", "after", true
+	}
+	if len(ls) < 2 {
+		return "", "", false
+	}
+	return ls[0], ls[1], true
+}
+
+func snapshot(doc map[string]any, label string) map[string]any {
+	if m, ok := doc[label].(map[string]any); ok {
+		return m
+	}
+	return map[string]any{}
+}
+
+// diffSnapshots renders per-metric deltas between two snapshots. Metric
+// groups are the nested objects (fig8_simulate, sweep_full, ...); within
+// a group every numeric metric is compared. Scalar top-level fields
+// (date, go version) are ignored.
+func diffSnapshots(old, new map[string]any) string {
+	var b strings.Builder
+	for _, group := range sortedKeys(old, new) {
+		om, oldHas := old[group].(map[string]any)
+		nm, newHas := new[group].(map[string]any)
+		if !oldHas && !newHas {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s\n", group)
+		for _, metric := range sortedKeys(om, nm) {
+			ov, oldNum := toFloat(om[metric])
+			nv, newNum := toFloat(nm[metric])
+			switch {
+			case oldNum && newNum && ov == nv:
+				fmt.Fprintf(&b, "    %-14s %v (unchanged)\n", metric, trim(nv))
+			case oldNum && newNum && ov != 0:
+				fmt.Fprintf(&b, "    %-14s %v -> %v (%+.1f%%)\n", metric, trim(ov), trim(nv), 100*(nv-ov)/ov)
+			case oldNum && newNum:
+				fmt.Fprintf(&b, "    %-14s %v -> %v\n", metric, trim(ov), trim(nv))
+			case oldNum:
+				fmt.Fprintf(&b, "    %-14s %v -> (gone)\n", metric, trim(ov))
+			case newNum:
+				fmt.Fprintf(&b, "    %-14s (new) -> %v\n", metric, trim(nv))
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(ms ...map[string]any) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func toFloat(v any) (float64, bool) {
+	f, ok := v.(float64) // encoding/json decodes every JSON number as float64
+	return f, ok
+}
+
+// trim prints a metric without the float64 noise JSON decoding adds to
+// integral values.
+func trim(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.3f", f)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(vals map[string]map[string]float64) map[string]any {
+	out := map[string]any{"date": "2026-01-01", "go": "go1.24.0"}
+	for group, metrics := range vals {
+		g := map[string]any{}
+		for k, v := range metrics {
+			g[k] = v // float64, as encoding/json would decode
+		}
+		out[group] = g
+	}
+	return out
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	old := snap(map[string]map[string]float64{
+		"sweep_full": {"seconds": 300, "prefixes": 160, "workers": 8},
+		"fig8":       {"ns_per_op": 1000},
+	})
+	new := snap(map[string]map[string]float64{
+		"sweep_full": {"seconds": 150, "prefixes": 160, "classes": 40},
+		"fig8":       {"ns_per_op": 900},
+	})
+	got := diffSnapshots(old, new)
+	for _, want := range []string{
+		"sweep_full",
+		"seconds        300 -> 150 (-50.0%)",
+		"prefixes       160 (unchanged)",
+		"classes        (new) -> 40",
+		"workers        8 -> (gone)",
+		"ns_per_op      1000 -> 900 (-10.0%)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff missing %q:\n%s", want, got)
+		}
+	}
+	// Scalar top-level fields (date, go) must not appear as groups.
+	if strings.Contains(got, "date") || strings.Contains(got, "go1.24.0") {
+		t.Errorf("scalar fields leaked into diff:\n%s", got)
+	}
+}
+
+func TestLabelPair(t *testing.T) {
+	doc := map[string]any{
+		"_methodology": map[string]any{"machine": "x"},
+		"after":        map[string]any{},
+		"before":       map[string]any{},
+	}
+	a, b, ok := labelPair(doc)
+	if !ok || a != "before" || b != "after" {
+		t.Fatalf("labelPair = %q %q %v", a, b, ok)
+	}
+	doc2 := map[string]any{"pr2": map[string]any{}, "pr3": map[string]any{}}
+	a, b, ok = labelPair(doc2)
+	if !ok || a != "pr2" || b != "pr3" {
+		t.Fatalf("sorted pair = %q %q %v", a, b, ok)
+	}
+	if _, _, ok := labelPair(map[string]any{"only": map[string]any{}}); ok {
+		t.Fatal("single label must not pair")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	if trim(8) != "8" || trim(307.995) != "307.995" {
+		t.Fatalf("trim: %q %q", trim(8), trim(307.995))
+	}
+}

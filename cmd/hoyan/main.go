@@ -38,6 +38,8 @@ commands:
   sweep   -dir DIR -workers a:p,b:p [-k N]      distributed whole-network sweep
           [-retries N] [-req-timeout D] [-dial-timeout D]
           [-hedge-after D] [-partial]           fault-tolerance knobs
+          [-no-classes]                         one simulation per prefix instead
+                                                of per behavior class
 
 every command also accepts -cpuprofile FILE and -memprofile FILE to
 write pprof profiles of the run.
@@ -68,6 +70,7 @@ func main() {
 	dialTimeout := fs.Duration("dial-timeout", dopts.DialTimeout, "sweep: per-dial deadline")
 	hedgeAfter := fs.Duration("hedge-after", 0, "sweep: re-dispatch stragglers to idle workers after this long (0 = off)")
 	partial := fs.Bool("partial", false, "sweep: report failed prefixes instead of aborting the run")
+	noClasses := fs.Bool("no-classes", false, "sweep: simulate every prefix instead of one representative per behavior class")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
@@ -275,10 +278,6 @@ func main() {
 	case "sweep":
 		need(*workers, "-workers")
 		m, _ := build(snap)
-		var prefixes []string
-		for _, p := range m.AnnouncedPrefixes() {
-			prefixes = append(prefixes, p.String())
-		}
 		opts := dist.DefaultOptions()
 		opts.MaxAttempts = *retries
 		opts.RequestTimeout = *reqTimeout
@@ -286,7 +285,29 @@ func main() {
 		opts.HedgeAfter = *hedgeAfter
 		opts.AllowPartial = *partial
 		coord := &dist.Coordinator{Addrs: strings.Split(*workers, ","), Opts: opts}
-		res, err := coord.Run(prefixes, *k)
+		var res *dist.Result
+		var err error
+		if *noClasses {
+			var prefixes []string
+			for _, p := range m.AnnouncedPrefixes() {
+				prefixes = append(prefixes, p.String())
+			}
+			res, err = coord.Run(prefixes, *k)
+		} else {
+			classes := m.Classes()
+			jobs := make([][]string, 0, len(classes))
+			total := 0
+			for _, c := range classes {
+				var cl []string
+				for _, p := range c.Members {
+					cl = append(cl, p.String())
+				}
+				total += len(cl)
+				jobs = append(jobs, cl)
+			}
+			fmt.Printf("dispatching %d behavior classes for %d prefixes\n", len(jobs), total)
+			res, err = coord.RunClasses(jobs, *k)
+		}
 		if err != nil {
 			fail(err.Error())
 		}
@@ -306,8 +327,13 @@ func main() {
 			fmt.Printf("resilience: %d jobs re-queued, %d retried, %d hedged\n",
 				res.Requeued, res.Retried, res.Hedged)
 		}
-		fmt.Printf("distributed sweep: %d/%d prefixes over %d workers, %d violations\n",
-			len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), len(res.Assigned), bad)
+		if res.Classes > 0 {
+			fmt.Printf("distributed sweep: %d/%d prefixes (%d classes, %d replicated) over %d workers, %d violations\n",
+				len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), res.Classes, res.Replicated, len(res.Assigned), bad)
+		} else {
+			fmt.Printf("distributed sweep: %d/%d prefixes over %d workers, %d violations\n",
+				len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), len(res.Assigned), bad)
+		}
 		if bad > 0 || len(res.Failed) > 0 {
 			exit(1)
 		}

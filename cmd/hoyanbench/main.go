@@ -5,10 +5,11 @@
 //
 // With -perf LABEL it instead measures the engine's performance
 // trajectory — the Figure 8 per-prefix simulation microbenchmark plus
-// medium- and full-WAN sweep wall-clock — and records the snapshot under
-// LABEL in a JSON file (default BENCH_PR2.json), merging with whatever
-// labels are already there. Committing the file after a perf PR keeps a
-// before/after record next to the code.
+// medium- and full-WAN sweep wall-clock (classed by default; -no-classes
+// for the per-prefix baseline) — and records the snapshot under LABEL in
+// a JSON file (default BENCH_PR3.json), merging with whatever labels are
+// already there. Committing the file after a perf PR keeps a before/after
+// record next to the code.
 package main
 
 import (
@@ -29,17 +30,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | all")
+	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | all")
 	budget := flag.Duration("budget", 60*time.Second, "per-cell budget for baseline comparisons")
 	months := flag.Int("months", 24, "campaign months for fig7")
 	limit := flag.Int("limit", 24, "prefix sample size for full-WAN experiments (0 = all)")
 	perf := flag.String("perf", "", "record a perf-trajectory snapshot under this label and exit")
-	perfout := flag.String("perfout", "BENCH_PR2.json", "perf-trajectory JSON file to merge the snapshot into")
+	perfout := flag.String("perfout", "BENCH_PR3.json", "perf-trajectory JSON file to merge the snapshot into")
 	workers := flag.Int("workers", 8, "sweep workers for -perf")
+	noClasses := flag.Bool("no-classes", false, "-perf: sweep every prefix instead of one representative per behavior class")
+	auditSample := flag.Float64("audit-sample", 0, "-perf: fully simulate this fraction of non-representative class members and diff against replicated results")
 	flag.Parse()
 
 	if *perf != "" {
-		if err := runPerf(*perf, *perfout, *workers); err != nil {
+		if err := runPerf(*perf, *perfout, *workers, *noClasses, *auditSample); err != nil {
 			fmt.Fprintln(os.Stderr, "hoyanbench:", err)
 			os.Exit(1)
 		}
@@ -66,6 +69,7 @@ func main() {
 		{"fig15-16", func() (bench.Table, error) { return bench.Fig15and16Tuner(gen.Small()) }},
 		{"appf", bench.AppendixFFormulas},
 		{"ablations", func() (bench.Table, error) { return bench.Ablations(gen.Medium(), *limit) }},
+		{"classes", bench.ClassStats},
 	}
 
 	ran := false
@@ -91,11 +95,12 @@ func main() {
 
 // runPerf measures the perf-trajectory snapshot and merges it into the
 // JSON file under label.
-func runPerf(label, out string, workers int) error {
+func runPerf(label, out string, workers int, noClasses bool, auditSample float64) error {
 	snap := map[string]any{
 		"date":       time.Now().UTC().Format(time.RFC3339),
 		"go":         runtime.Version(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"no_classes": noClasses,
 	}
 
 	// Figure 8 microbenchmark: one per-prefix simulation on the full WAN
@@ -147,13 +152,15 @@ func runPerf(label, out string, workers int) error {
 		if err != nil {
 			return err
 		}
-		rep, err := sweepNetwork(pw).Sweep(hoyan.Options{K: 3}, workers)
+		rep, err := sweepNetwork(pw).Sweep(hoyan.Options{K: 3, NoClasses: noClasses, AuditSample: auditSample}, workers)
 		if err != nil {
 			return err
 		}
 		snap["sweep_"+preset.name] = map[string]any{
 			"seconds":  rep.Duration.Seconds(),
 			"prefixes": len(rep.Prefixes),
+			"classes":  rep.Classes,
+			"audited":  rep.Audited,
 			"workers":  rep.Workers,
 			"k":        3,
 		}

@@ -6,7 +6,7 @@
 //	hoyand -dir /path/to/wan -http :8080 [-collector :8081] [-k 3]
 //
 // Endpoints: GET /v1/routers /v1/prefixes /v1/route /v1/packet
-// /v1/equivalence /v1/racing — see internal/httpapi.
+// /v1/equivalence /v1/racing /v1/classes — see internal/httpapi.
 //
 // Both planes shut down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests get a drain window and collector connections are unblocked.
@@ -108,8 +108,13 @@ func main() {
 		srv.Shutdown(ctx)
 	}()
 
-	fmt.Printf("verifier API listening on %s (%d routers, %d links, k=%d)\n",
-		*httpAddr, topoNet.NumNodes(), topoNet.NumLinks(), *k)
+	classes := svc.Classes()
+	nprefix := 0
+	for _, c := range classes {
+		nprefix += len(c.Members)
+	}
+	fmt.Printf("verifier API listening on %s (%d routers, %d links, k=%d, %d prefixes in %d behavior classes)\n",
+		*httpAddr, topoNet.NumNodes(), topoNet.NumLinks(), *k, nprefix, len(classes))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "hoyand:", err)
 		finishProfiles()

@@ -150,6 +150,21 @@ type Options struct {
 	DisablePruning bool
 	// DisableSimplify turns off condition simplification.
 	DisableSimplify bool
+	// NoClasses disables prefix behavior-class batching in Sweep: every
+	// announced prefix is simulated individually (the correctness escape
+	// hatch; see DESIGN.md, "Prefix equivalence classes").
+	NoClasses bool
+	// AuditSample is the fraction of non-representative class members a
+	// Sweep fully re-simulates and diffs against their replicated reports,
+	// failing loudly on divergence (0 = no auditing, 1 = every member).
+	AuditSample float64
+	// AuditSeed seeds the audit-member selection (0 = a fixed default), so
+	// the chosen set is reproducible and worker-count independent.
+	AuditSeed int64
+	// ResetEvery is how many prefix simulations a sweep worker runs before
+	// recycling its simulator (fresh formula arena, IGP re-seeded from the
+	// shared memo); 0 = the default of 1.
+	ResetEvery int
 }
 
 // TunedProfiles returns the fully tuned vendor behavior registry.

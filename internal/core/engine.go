@@ -119,6 +119,12 @@ type Simulator struct {
 	sessionsTo [][]int // incoming session indices per node
 	igpLazy    map[int]bool
 
+	// Per-factory fronts of the shared cross-prefix memo (shared.go):
+	// repeat queries on the same formula skip even the CanonicalKey walk.
+	// Invalidated by Reset together with the factory they index into.
+	violateCache  map[logic.F]int
+	simplifyCache map[logic.F]logic.F
+
 	sc runScratch
 }
 
@@ -154,12 +160,14 @@ func NewSimulator(m *Model, opts Options) *Simulator {
 		opts.SimplifyThreshold = 24
 	}
 	s := &Simulator{
-		M:          m,
-		F:          logic.NewFactory(),
-		Opts:       opts,
-		sessionsBy: make([][]int, m.Net.NumNodes()),
-		sessionsTo: make([][]int, m.Net.NumNodes()),
-		igpLazy:    map[int]bool{},
+		M:             m,
+		F:             logic.NewFactory(),
+		Opts:          opts,
+		sessionsBy:    make([][]int, m.Net.NumNodes()),
+		sessionsTo:    make([][]int, m.Net.NumNodes()),
+		igpLazy:       map[int]bool{},
+		violateCache:  map[logic.F]int{},
+		simplifyCache: map[logic.F]logic.F{},
 	}
 	s.IGP = igp.New(m.Net, m.Configs, s.F, igpOptions(opts))
 	for _, node := range m.Net.Nodes() {
@@ -206,6 +214,8 @@ func NewSimulator(m *Model, opts Options) *Simulator {
 func (s *Simulator) Reset() {
 	s.F = logic.NewFactory()
 	s.IGP = igp.New(s.M.Net, s.M.Configs, s.F, igpOptions(s.Opts))
+	clear(s.violateCache)
+	clear(s.simplifyCache)
 	if s.shared != nil {
 		s.IGP.Seed(s.shared.memo)
 	}
@@ -563,7 +573,7 @@ func (s *Simulator) announce(se session, si int, stats *Stats) (out, sent []Entr
 			}
 			stats.observeCondLen(s.F.Len(cond))
 			if s.Opts.Simplify && s.F.Len(cond) > s.Opts.SimplifyThreshold {
-				cond = s.F.Simplify(cond)
+				cond = s.simplifyCond(cond)
 			}
 			out = append(out, Entry{Route: ing.Route, Cond: cond})
 			stats.Delivered++

@@ -45,6 +45,11 @@ type Model struct {
 	// mutate the returned routes (behavior pipelines Clone before edits).
 	originsOnce sync.Once
 	origins     [][]route.Route
+
+	// classesOnce/classes cache the prefix behavior-class partition
+	// (classes.go), computed once on first use like origins.
+	classesOnce sync.Once
+	classes     []PrefixClass
 }
 
 // assembleCalls counts Assemble invocations process-wide. Tests use it

@@ -370,6 +370,12 @@ type Result struct {
 	Retried int
 	// Hedged counts speculative duplicate dispatches of stragglers.
 	Hedged int
+	// Classes counts the representative simulations RunClasses dispatched
+	// (zero for a plain Run).
+	Classes int
+	// Replicated counts member prefixes whose summaries were copied from
+	// their class representative instead of simulated (RunClasses).
+	Replicated int
 }
 
 // events from workers to the scheduler.
@@ -622,6 +628,61 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 	f := out.Failed[0]
 	return out, fmt.Errorf("dist: %d/%d prefixes failed (first: %s after %d dispatches: %s)",
 		len(out.Failed), len(uniq), f.Prefix, f.Dispatches, f.LastError)
+}
+
+// RunClasses verifies prefix behavior classes: each class is a member
+// list with the representative first (core.Model.Classes provides the
+// partition), only representatives are dispatched to workers, and a
+// representative's summaries are replicated to every member — the
+// RouterSummary carries no prefix, so replication is exact. A
+// representative that permanently fails fails all of its members.
+func (c *Coordinator) RunClasses(classes [][]string, k int) (*Result, error) {
+	reps := make([]string, 0, len(classes))
+	members := map[string][]string{}
+	total := 0
+	for _, cl := range classes {
+		if len(cl) == 0 {
+			continue
+		}
+		rep := cl[0]
+		if _, dup := members[rep]; dup {
+			continue
+		}
+		reps = append(reps, rep)
+		members[rep] = cl
+		total += len(cl)
+	}
+	res, runErr := c.Run(reps, k)
+	if res == nil {
+		return nil, runErr
+	}
+	res.Classes = len(reps)
+	for rep, cl := range members {
+		if summ, ok := res.ByPrefix[rep]; ok {
+			for _, p := range cl[1:] {
+				res.ByPrefix[p] = summ
+				res.Replicated++
+			}
+		}
+	}
+	if len(res.Failed) > 0 {
+		expanded := make([]PrefixFailure, 0, len(res.Failed))
+		for _, f := range res.Failed {
+			for _, p := range members[f.Prefix] {
+				mf := f
+				mf.Prefix = p
+				expanded = append(expanded, mf)
+			}
+		}
+		sort.Slice(expanded, func(i, j int) bool { return expanded[i].Prefix < expanded[j].Prefix })
+		res.Failed = expanded
+		if runErr != nil {
+			f := expanded[0]
+			runErr = fmt.Errorf("dist: %d/%d prefixes failed (first: %s after %d dispatches: %s)",
+				len(expanded), total, f.Prefix, f.Dispatches, f.LastError)
+		}
+	}
+	return res, runErr
 }
 
 // runWorkerLoop drives one worker address: dial (with backoff), pull

@@ -4,6 +4,8 @@ import (
 	"net"
 	"testing"
 
+	"hoyan/internal/behavior"
+	"hoyan/internal/core"
 	"hoyan/internal/gen"
 )
 
@@ -101,6 +103,74 @@ func TestCoordinatorErrors(t *testing.T) {
 	coord := &Coordinator{Addrs: addrs}
 	if _, err := coord.Run([]string{"not-a-prefix"}, 1); err == nil {
 		t.Fatal("bad prefix must surface")
+	}
+}
+
+// TestRunClassesReplicates: a classed distributed run dispatches only
+// representatives and replicates their summaries to members, matching a
+// plain per-prefix run verdict-for-verdict.
+func TestRunClassesReplicates(t *testing.T) {
+	w, err := gen.Generate(gen.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.Assemble(w.Net, w.Snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classes [][]string
+	var all []string
+	for _, c := range model.Classes() {
+		var cl []string
+		for _, p := range c.Members {
+			cl = append(cl, p.String())
+			all = append(all, p.String())
+		}
+		classes = append(classes, cl)
+	}
+	if len(classes) >= len(all) {
+		t.Fatalf("no batching on gen.Small: %d classes for %d prefixes", len(classes), len(all))
+	}
+
+	addrs, stop := startWorkers(t, w, 2)
+	defer stop()
+	coord := &Coordinator{Addrs: addrs}
+	classed, err := coord.RunClasses(classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classed.Classes != len(classes) {
+		t.Fatalf("dispatched %d classes, want %d", classed.Classes, len(classes))
+	}
+	if classed.Replicated != len(all)-len(classes) {
+		t.Fatalf("replicated %d members, want %d", classed.Replicated, len(all)-len(classes))
+	}
+	plain, err := coord.Run(all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classed.ByPrefix) != len(plain.ByPrefix) {
+		t.Fatalf("classed covers %d prefixes, plain %d", len(classed.ByPrefix), len(plain.ByPrefix))
+	}
+	for p, want := range plain.ByPrefix {
+		got := classed.ByPrefix[p]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d summaries, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: summary %d differs: %+v vs %+v", p, i, got[i], want[i])
+			}
+		}
+	}
+
+	// A permanently failing representative fails every member of its class.
+	bad, err := coord.RunClasses([][]string{{"not-a-prefix", "10.0.0.0/24"}}, 1)
+	if err == nil {
+		t.Fatal("failing representative must surface")
+	}
+	if len(bad.Failed) != 2 {
+		t.Fatalf("failed %d prefixes, want the whole class (2): %+v", len(bad.Failed), bad.Failed)
 	}
 }
 

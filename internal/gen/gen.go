@@ -34,6 +34,15 @@ type Params struct {
 	// ExtraCoreLinks adds random inter-region chords (asymmetry).
 	ExtraCoreLinks int
 	WANAS          uint32
+	// PolicyDiversity > 0 splits every PE's ingress TAG policy into that
+	// many prefix-list-matched terms (prefixes bucketed round-robin), each
+	// adding a distinct extra community, plus a catch-all term. It is the
+	// prefix-diversity knob for the behavior-class benchmarks: classes
+	// multiply by roughly this factor because bucketed prefixes stop being
+	// policy-equivalent. 0 keeps the single-term policy and generates
+	// byte-identical configurations to earlier versions (no extra
+	// randomness is consumed).
+	PolicyDiversity int
 }
 
 // Small is the 20-router subnet of §8.2 (Table 4).
@@ -171,6 +180,7 @@ func Generate(p Params) (*WAN, error) {
 	prefixByte := 0
 	var peerAttach = map[string][]string{} // peer -> attached PE names
 	var peerPrefixes = map[string][]netaddr.Prefix{}
+	var allPrefixes []netaddr.Prefix // creation order, for policy bucketing
 	for r := 0; r < p.Regions; r++ {
 		for i := 0; i < p.PeersPerRegion; i++ {
 			name := fmt.Sprintf("gw-r%d-%d", r, i)
@@ -190,6 +200,7 @@ func Generate(p Params) (*WAN, error) {
 				pfx := netaddr.MustParse(fmt.Sprintf("10.%d.%d.0/24", prefixByte/256, prefixByte%256))
 				prefixByte++
 				peerPrefixes[name] = append(peerPrefixes[name], pfx)
+				allPrefixes = append(allPrefixes, pfx)
 				w.PrefixOwners[pfx] = name
 			}
 			peerAS++
@@ -246,7 +257,20 @@ func Generate(p Params) (*WAN, error) {
 				}
 			}
 			t += "router isis\n level 2\n"
-			t += "route-policy TAG permit 10\n set community add " + regionComm(r) + "\n"
+			if d := p.PolicyDiversity; d > 0 {
+				for b := 0; b < d; b++ {
+					for i, pfx := range allPrefixes {
+						if i%d == b {
+							t += fmt.Sprintf("ip prefix-list BUCKET%d permit %s\n", b, pfx)
+						}
+					}
+					t += fmt.Sprintf("route-policy TAG permit %d\n match prefix-list BUCKET%d\n set community add %s\n set community add %d:%d\n",
+						10+10*b, b, regionComm(r), p.WANAS%65536, 200+b)
+				}
+				t += fmt.Sprintf("route-policy TAG permit %d\n set community add %s\n", 10+10*d, regionComm(r))
+			} else {
+				t += "route-policy TAG permit 10\n set community add " + regionComm(r) + "\n"
+			}
 			texts[name] = t
 		}
 		// MANs: iBGP clients only.

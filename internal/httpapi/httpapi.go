@@ -58,6 +58,7 @@ func New(net *topo.Network, snap config.Snapshot, k int) (*Service, error) {
 //	GET /v1/packet?prefix=P&src=R        packet reachability to the gateway
 //	GET /v1/equivalence?a=R1&b=R2        role equivalence
 //	GET /v1/racing?prefix=P              update-racing ambiguity
+//	GET /v1/classes                      prefix behavior-class partition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/routers", s.handleRouters)
@@ -66,8 +67,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/packet", s.handlePacket)
 	mux.HandleFunc("GET /v1/equivalence", s.handleEquivalence)
 	mux.HandleFunc("GET /v1/racing", s.handleRacing)
+	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	return mux
 }
+
+// Classes returns the model's prefix behavior-class partition (what a
+// classed sweep dispatches), for startup stats and the /v1/classes view.
+func (s *Service) Classes() []core.PrefixClass { return s.model.Classes() }
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -244,6 +250,24 @@ func (s *Service) handleEquivalence(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ClassResponse is one behavior class in the JSON body of /v1/classes.
+type ClassResponse struct {
+	Representative string   `json:"representative"`
+	Members        []string `json:"members"`
+}
+
+func (s *Service) handleClasses(w http.ResponseWriter, r *http.Request) {
+	var out []ClassResponse
+	for _, c := range s.model.Classes() {
+		cr := ClassResponse{Representative: c.Rep.String()}
+		for _, p := range c.Members {
+			cr.Members = append(cr.Members, p.String())
+		}
+		out = append(out, cr)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"classes": out})
 }
 
 // RacingResponse is the JSON body of /v1/racing.

@@ -122,6 +122,19 @@ func TestListingEndpoints(t *testing.T) {
 	if len(prefixes.Prefixes) != 1 || prefixes.Prefixes[0] != "10.0.0.0/8" {
 		t.Fatalf("prefixes %v", prefixes)
 	}
+	var classes struct {
+		Classes []ClassResponse `json:"classes"`
+	}
+	if code := get(t, srv, "/v1/classes", &classes); code != 200 {
+		t.Fatalf("classes status %d", code)
+	}
+	if len(classes.Classes) != 1 {
+		t.Fatalf("classes %v", classes)
+	}
+	c := classes.Classes[0]
+	if c.Representative != "10.0.0.0/8" || len(c.Members) != 1 || c.Members[0] != "10.0.0.0/8" {
+		t.Fatalf("class %+v", c)
+	}
 }
 
 func TestBadRequests(t *testing.T) {

@@ -1,0 +1,89 @@
+package logic
+
+import "strconv"
+
+// CanonicalKey serializes the DAG rooted at x into a factory-independent
+// string: two formulas (from the same or different factories) that were
+// built through the same constructor sequence serialize identically, so
+// the key can index cross-factory memo tables — the sweep engine uses it
+// to reuse min-cost SAT answers and simplified conditions across the
+// per-prefix factory resets (DESIGN.md, "Prefix equivalence classes").
+//
+// Nodes are numbered densely in first-visit (post-)order starting after
+// the constants (False=0, True=1), and children are referenced by that
+// numbering, so factory-local F ids never leak into the key. Binary
+// children keep their stored order; since And/Or order operands by
+// factory-local id, two structurally equal formulas constructed in
+// different orders MAY serialize differently — that costs a memo hit,
+// never correctness.
+//
+// ok is false when the DAG has more than maxNodes distinct nodes
+// (maxNodes <= 0 means unlimited); callers use the cap to keep memo keys
+// from outgrowing the work they save.
+func (f *Factory) CanonicalKey(x F, maxNodes int) (key string, ok bool) {
+	switch x {
+	case False:
+		return "0", true
+	case True:
+		return "1", true
+	}
+	idx := make(map[F]int32, 16)
+	idx[False] = 0
+	idx[True] = 1
+	buf := make([]byte, 0, 128)
+	overflow := false
+	var rec func(F) int32
+	rec = func(y F) int32 {
+		if i, ok := idx[y]; ok {
+			return i
+		}
+		if overflow {
+			return 0
+		}
+		n := f.nodes[y]
+		var a, b int32
+		switch n.k {
+		case kNot:
+			a = rec(n.a)
+		case kAnd, kOr:
+			a = rec(n.a)
+			b = rec(n.b)
+		}
+		if overflow {
+			return 0
+		}
+		if maxNodes > 0 && len(idx) >= maxNodes+2 {
+			overflow = true
+			return 0
+		}
+		switch n.k {
+		case kVar:
+			buf = append(buf, 'v')
+			buf = strconv.AppendInt(buf, int64(n.v), 10)
+		case kNot:
+			buf = append(buf, '!')
+			buf = strconv.AppendInt(buf, int64(a), 10)
+		case kAnd:
+			buf = append(buf, '&')
+			buf = strconv.AppendInt(buf, int64(a), 10)
+			buf = append(buf, ',')
+			buf = strconv.AppendInt(buf, int64(b), 10)
+		case kOr:
+			buf = append(buf, '|')
+			buf = strconv.AppendInt(buf, int64(a), 10)
+			buf = append(buf, ',')
+			buf = strconv.AppendInt(buf, int64(b), 10)
+		}
+		buf = append(buf, ';')
+		id := int32(len(idx))
+		idx[y] = id
+		return id
+	}
+	rec(x)
+	if overflow {
+		return "", false
+	}
+	// Post-order emission means the last record is the root; no explicit
+	// root marker is needed.
+	return string(buf), true
+}

@@ -2,6 +2,7 @@ package hoyan
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"hoyan/internal/behavior"
 	"hoyan/internal/core"
+	"hoyan/internal/netaddr"
 )
 
 // PrefixSummary is the per-prefix outcome of a full sweep.
@@ -21,13 +23,10 @@ type PrefixSummary struct {
 	// WeakestRouter is where that minimal break happens.
 	WeakestRouter string
 	// SimTime is the per-prefix simulation time (the Figure 8 sample).
+	// Class members replicated from a representative report carry the
+	// representative's time.
 	SimTime time.Duration
 }
-
-// resetEvery is how many prefixes a sweep worker simulates before
-// recycling its simulator (fresh formula arena, IGP re-seeded from the
-// shared memo). See the "Sweep engine" section of DESIGN.md.
-const resetEvery = 1
 
 // SweepReport aggregates a whole-network verification run.
 type SweepReport struct {
@@ -37,6 +36,14 @@ type SweepReport struct {
 	Violations []Violation
 	Duration   time.Duration
 	Workers    int
+	// Classes is the number of simulations dispatched: the behavior-class
+	// count, or the prefix count when classing is disabled (Options.
+	// NoClasses). See DESIGN.md, "Prefix equivalence classes".
+	Classes int
+	// Audited counts non-representative class members that were fully
+	// simulated and diffed against their replicated report
+	// (Options.AuditSample). The sweep fails loudly on any divergence.
+	Audited int
 }
 
 // Sweep verifies every announced prefix at every BGP router, sharded over
@@ -47,7 +54,13 @@ type SweepReport struct {
 // the cheap mutable half — formula factory, IGP engine, scratch — so the
 // sweep stays embarrassingly parallel like the paper's per-prefix
 // parallelism without re-doing prefix-independent work per goroutine.
-// workers <= 0 uses GOMAXPROCS.
+//
+// The unit of work is a prefix behavior class, not a prefix: prefixes the
+// assembled model treats identically (core.Model.Classes) share one
+// representative simulation whose report is replicated to every member.
+// Options.NoClasses restores one-simulation-per-prefix, and
+// Options.AuditSample re-simulates a fraction of the members to check the
+// replication. workers <= 0 uses GOMAXPROCS.
 func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	if len(n.errs) > 0 {
 		return nil, n.errs[0]
@@ -70,8 +83,45 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	if len(prefixes) == 0 {
 		return &SweepReport{Workers: workers}, nil
 	}
-	if workers > len(prefixes) {
-		workers = len(prefixes)
+
+	// The dispatch list: one job per behavior class (members, representative
+	// first), or one singleton job per prefix with classing disabled.
+	var jobs [][]netaddr.Prefix
+	if opts.NoClasses {
+		for _, p := range prefixes {
+			jobs = append(jobs, []netaddr.Prefix{p})
+		}
+	} else {
+		for _, c := range model.Classes() {
+			jobs = append(jobs, c.Members)
+		}
+	}
+	// Workers beyond the dispatched job count would idle; clamp to what can
+	// actually run in parallel (jobs, not prefixes).
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	resetEvery := opts.ResetEvery
+	if resetEvery <= 0 {
+		resetEvery = 1
+	}
+
+	// Audit selection happens up front from a seeded source, so the chosen
+	// members do not depend on worker count or scheduling.
+	audit := map[netaddr.Prefix]bool{}
+	if !opts.NoClasses && opts.AuditSample > 0 {
+		seed := opts.AuditSeed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, job := range jobs {
+			for _, p := range job[1:] {
+				if rng.Float64() < opts.AuditSample {
+					audit[p] = true
+				}
+			}
+		}
 	}
 
 	copts := core.DefaultOptions()
@@ -89,6 +139,7 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	type shardResult struct {
 		summaries  []PrefixSummary
 		violations []Violation
+		audited    int
 		err        error
 	}
 	results := make([]shardResult, workers)
@@ -97,12 +148,9 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
-			m := model // shared, immutable after Assemble
 			sim := shared.NewSimulator()
 			done := 0
-			for i := wkr; i < len(prefixes); i += workers {
-				p := prefixes[i]
-				t0 := time.Now()
+			run := func(p netaddr.Prefix) (PrefixSummary, []Violation, error) {
 				// Unrelated prefixes share no conditions, so the formula
 				// arena only grows across runs; periodic resets keep both
 				// memory and hash-cons lookup costs flat. Re-seeding from
@@ -111,47 +159,54 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 					sim.Reset()
 				}
 				done++
-				res, err := sim.Run(p)
+				return sweepOne(sim, model, p, opts.K)
+			}
+			for i := wkr; i < len(jobs); i += workers {
+				job := jobs[i]
+				sum, viols, err := run(job[0])
 				if err != nil {
 					results[wkr].err = err
 					return
 				}
-				sum := PrefixSummary{
-					Prefix:      p.String(),
-					MinFailures: -1,
-					SimTime:     time.Since(t0),
-				}
-				for _, node := range m.Net.Nodes() {
-					if m.Configs[node.ID].BGP == nil {
-						continue
-					}
-					pt := core.AnyRouteTo(p)
-					if !res.Reachable(node.ID, pt) {
-						results[wkr].violations = append(results[wkr].violations, Violation{
-							Kind: "reachability", Prefix: p.String(), Router: node.Name,
-							Details: "no route with all links up",
-						})
-						continue
-					}
-					min, _ := res.MinFailuresToLose(node.ID, pt)
-					if min <= opts.K && (sum.MinFailures == -1 || min < sum.MinFailures) {
-						sum.MinFailures = min
-						sum.WeakestRouter = node.Name
+				// Replicate the representative's report to every member,
+				// rewriting the prefix name.
+				for _, p := range job {
+					s := sum
+					s.Prefix = p.String()
+					results[wkr].summaries = append(results[wkr].summaries, s)
+					for _, v := range viols {
+						v.Prefix = p.String()
+						results[wkr].violations = append(results[wkr].violations, v)
 					}
 				}
-				results[wkr].summaries = append(results[wkr].summaries, sum)
+				for _, p := range job[1:] {
+					if !audit[p] {
+						continue
+					}
+					asum, aviols, err := run(p)
+					if err != nil {
+						results[wkr].err = err
+						return
+					}
+					if err := diffAudit(sum, viols, asum, aviols, job[0], p); err != nil {
+						results[wkr].err = err
+						return
+					}
+					results[wkr].audited++
+				}
 			}
 		}(wkr)
 	}
 	wg.Wait()
 
-	rep := &SweepReport{Duration: time.Since(start), Workers: workers}
+	rep := &SweepReport{Duration: time.Since(start), Workers: workers, Classes: len(jobs)}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
 		}
 		rep.Prefixes = append(rep.Prefixes, r.summaries...)
 		rep.Violations = append(rep.Violations, r.violations...)
+		rep.Audited += r.audited
 	}
 	sort.Slice(rep.Prefixes, func(i, j int) bool { return rep.Prefixes[i].Prefix < rep.Prefixes[j].Prefix })
 	sort.Slice(rep.Violations, func(i, j int) bool {
@@ -163,6 +218,64 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	return rep, nil
 }
 
+// sweepOne simulates one prefix and derives its summary and violations —
+// the same code path whether the prefix is a class representative, a
+// singleton of an unclassed sweep, or an audit re-check of a member.
+func sweepOne(sim *core.Simulator, m *core.Model, p netaddr.Prefix, k int) (PrefixSummary, []Violation, error) {
+	t0 := time.Now()
+	res, err := sim.Run(p)
+	if err != nil {
+		return PrefixSummary{}, nil, err
+	}
+	sum := PrefixSummary{
+		Prefix:      p.String(),
+		MinFailures: -1,
+		SimTime:     time.Since(t0),
+	}
+	var viols []Violation
+	for _, node := range m.Net.Nodes() {
+		if m.Configs[node.ID].BGP == nil {
+			continue
+		}
+		pt := core.AnyRouteTo(p)
+		if !res.Reachable(node.ID, pt) {
+			viols = append(viols, Violation{
+				Kind: "reachability", Prefix: p.String(), Router: node.Name,
+				Details: "no route with all links up",
+			})
+			continue
+		}
+		min, _ := res.MinFailuresToLose(node.ID, pt)
+		if min <= k && (sum.MinFailures == -1 || min < sum.MinFailures) {
+			sum.MinFailures = min
+			sum.WeakestRouter = node.Name
+		}
+	}
+	return sum, viols, nil
+}
+
+// diffAudit compares an audited member's fully simulated report against
+// the one replicated from its class representative. Violations are
+// generated in node order by sweepOne on both sides, so positional
+// comparison suffices.
+func diffAudit(rep PrefixSummary, repV []Violation, got PrefixSummary, gotV []Violation, repP, p netaddr.Prefix) error {
+	if got.MinFailures != rep.MinFailures || got.WeakestRouter != rep.WeakestRouter {
+		return fmt.Errorf("hoyan: sweep audit divergence for %s (class of %s): got MinFailures=%d WeakestRouter=%q, replicated MinFailures=%d WeakestRouter=%q",
+			p, repP, got.MinFailures, got.WeakestRouter, rep.MinFailures, rep.WeakestRouter)
+	}
+	if len(gotV) != len(repV) {
+		return fmt.Errorf("hoyan: sweep audit divergence for %s (class of %s): %d violations, replicated %d",
+			p, repP, len(gotV), len(repV))
+	}
+	for i := range gotV {
+		if gotV[i].Kind != repV[i].Kind || gotV[i].Router != repV[i].Router || gotV[i].Details != repV[i].Details {
+			return fmt.Errorf("hoyan: sweep audit divergence for %s (class of %s): violation %d is %s@%s, replicated %s@%s",
+				p, repP, i, gotV[i].Kind, gotV[i].Router, repV[i].Kind, repV[i].Router)
+		}
+	}
+	return nil
+}
+
 // String summarizes the sweep for logs.
 func (r *SweepReport) String() string {
 	weak := 0
@@ -171,6 +284,10 @@ func (r *SweepReport) String() string {
 			weak++
 		}
 	}
-	return fmt.Sprintf("sweep: %d prefixes on %d workers in %s (%d reachability violations, %d prefixes breakable within budget)",
-		len(r.Prefixes), r.Workers, r.Duration.Round(time.Millisecond), len(r.Violations), weak)
+	s := fmt.Sprintf("sweep: %d prefixes in %d classes on %d workers in %s (%d reachability violations, %d prefixes breakable within budget",
+		len(r.Prefixes), r.Classes, r.Workers, r.Duration.Round(time.Millisecond), len(r.Violations), weak)
+	if r.Audited > 0 {
+		s += fmt.Sprintf(", %d members audited", r.Audited)
+	}
+	return s + ")"
 }

@@ -1,6 +1,7 @@
 package hoyan
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -136,6 +137,199 @@ func TestSweepCleanWANHasNoViolations(t *testing.T) {
 		if p.SimTime <= 0 {
 			t.Fatal("per-prefix sim time must be recorded")
 		}
+	}
+}
+
+// diffSweepReports compares two sweep reports field-by-field, ignoring
+// timing (SimTime, Duration) and dispatch stats (Workers, Classes,
+// Audited) — the fields that legitimately differ between a classed and an
+// unclassed run.
+func diffSweepReports(t *testing.T, label string, a, b *SweepReport) {
+	t.Helper()
+	if len(a.Prefixes) != len(b.Prefixes) {
+		t.Fatalf("%s: %d vs %d prefixes", label, len(a.Prefixes), len(b.Prefixes))
+	}
+	for i := range a.Prefixes {
+		x, y := a.Prefixes[i], b.Prefixes[i]
+		x.SimTime, y.SimTime = 0, 0
+		if x != y {
+			t.Fatalf("%s: prefix %d differs:\n  a: %+v\n  b: %+v", label, i, x, y)
+		}
+	}
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("%s: %d vs %d violations", label, len(a.Violations), len(b.Violations))
+	}
+	for i := range a.Violations {
+		if a.Violations[i] != b.Violations[i] {
+			t.Fatalf("%s: violation %d differs: %+v vs %+v", label, i, a.Violations[i], b.Violations[i])
+		}
+	}
+}
+
+// TestSweepClassedMatchesUnclassed is the correctness gate of the
+// equivalence-class layer: a classed sweep must produce the identical
+// report (modulo timing) to a one-simulation-per-prefix sweep.
+func TestSweepClassedMatchesUnclassed(t *testing.T) {
+	params := gen.Small()
+	if !testing.Short() {
+		params = gen.Medium()
+	}
+	n, w := wanNetworkFrom(t, params)
+	for _, k := range []int{1, 3} {
+		classed, err := n.Sweep(Options{K: k}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unclassed, err := n.Sweep(Options{K: k, NoClasses: true}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if classed.Classes >= len(w.Prefixes()) {
+			t.Fatalf("K=%d: batching never engaged: %d classes for %d prefixes",
+				k, classed.Classes, len(w.Prefixes()))
+		}
+		if unclassed.Classes != len(w.Prefixes()) {
+			t.Fatalf("K=%d: NoClasses must dispatch per prefix: %d jobs for %d prefixes",
+				k, unclassed.Classes, len(w.Prefixes()))
+		}
+		diffSweepReports(t, "classed vs unclassed", classed, unclassed)
+	}
+}
+
+// asymmetricNetwork builds the minimal case where two prefixes from the
+// same gateway must NOT share a class: the PE's ingress policy permits
+// only one of them through a prefix-list, with an explicit deny tail so
+// the split does not depend on the vendor's default-policy VSB.
+func asymmetricNetwork(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	n.AddRouter(Router{Name: "gw", AS: 65001, Vendor: "alpha"})
+	n.AddRouter(Router{Name: "pe", AS: 64500, Vendor: "alpha"})
+	n.AddLink("gw", "pe", 10)
+	n.SetConfig("gw", `hostname gw
+router bgp 65001
+ network 10.0.1.0/24
+ network 10.0.2.0/24
+ neighbor pe remote-as 64500
+`)
+	n.SetConfig("pe", `hostname pe
+router bgp 64500
+ neighbor gw remote-as 65001
+ neighbor gw route-policy IN in
+ip prefix-list ONLY1 permit 10.0.1.0/24
+route-policy IN permit 10
+ match prefix-list ONLY1
+route-policy IN deny 20
+`)
+	return n
+}
+
+// TestSweepAsymmetricPolicySplitsClasses: two near-identical prefixes with
+// policy-asymmetric treatment land in different classes, and the classed
+// sweep reports their genuinely different verdicts (one is filtered at the
+// PE, one is not).
+func TestSweepAsymmetricPolicySplitsClasses(t *testing.T) {
+	n := asymmetricNetwork(t)
+	rep, err := n.Sweep(Options{K: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes != 2 {
+		t.Fatalf("policy-asymmetric prefixes must be 2 classes, got %d", rep.Classes)
+	}
+	filtered, passed := false, true
+	for _, v := range rep.Violations {
+		if v.Prefix == "10.0.2.0/24" && v.Router == "pe" {
+			filtered = true
+		}
+		if v.Prefix == "10.0.1.0/24" {
+			passed = false
+		}
+	}
+	if !filtered || !passed {
+		t.Fatalf("expected only 10.0.2.0/24 unreachable at pe, got %+v", rep.Violations)
+	}
+	unclassed, err := n.Sweep(Options{K: 1, NoClasses: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSweepReports(t, "asymmetric classed vs unclassed", rep, unclassed)
+}
+
+// TestSweepAuditSample: auditing every non-representative member of a
+// clean WAN reports the audit count and zero divergences.
+func TestSweepAuditSample(t *testing.T) {
+	n, w := wanNetwork(t)
+	rep, err := n.Sweep(Options{K: 2, AuditSample: 1.0}, 2)
+	if err != nil {
+		t.Fatalf("full audit diverged: %v", err)
+	}
+	want := len(w.Prefixes()) - rep.Classes
+	if rep.Audited != want {
+		t.Fatalf("AuditSample=1 audited %d members, want %d (prefixes %d - classes %d)",
+			rep.Audited, want, len(w.Prefixes()), rep.Classes)
+	}
+	if !strings.Contains(rep.String(), "audited") {
+		t.Fatal("audit count missing from report rendering")
+	}
+}
+
+// TestSweepWorkerClampToJobs: the worker count is clamped to dispatched
+// jobs — classes when batching, prefixes when not.
+func TestSweepWorkerClampToJobs(t *testing.T) {
+	n, w := wanNetwork(t)
+	classed, err := n.Sweep(Options{K: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classed.Workers != classed.Classes {
+		t.Fatalf("workers clamped to %d, want the class count %d", classed.Workers, classed.Classes)
+	}
+	unclassed, err := n.Sweep(Options{K: 1, NoClasses: true}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unclassed.Workers != len(w.Prefixes()) {
+		t.Fatalf("unclassed workers clamped to %d, want the prefix count %d", unclassed.Workers, len(w.Prefixes()))
+	}
+}
+
+// TestSweepResetEveryOption: a larger recycle interval must not change
+// verdicts (the batch for this option's default is DESIGN.md's).
+func TestSweepResetEveryOption(t *testing.T) {
+	n, _ := wanNetwork(t)
+	every1, err := n.Sweep(Options{K: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every4, err := n.Sweep(Options{K: 2, ResetEvery: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSweepReports(t, "resetEvery 1 vs 4", every1, every4)
+}
+
+// TestSweepFullWANClassedIdentity is the acceptance run of the PR: the
+// full generated WAN, classed vs unclassed identity plus a 10% audit.
+// ~10 CPU-minutes, so it only runs with HOYAN_SWEEP_FULL=1.
+func TestSweepFullWANClassedIdentity(t *testing.T) {
+	if os.Getenv("HOYAN_SWEEP_FULL") == "" {
+		t.Skip("set HOYAN_SWEEP_FULL=1 to run the full-WAN acceptance sweep")
+	}
+	n, _ := wanNetworkFrom(t, gen.Full())
+	classed, err := n.Sweep(Options{K: 3, AuditSample: 0.1}, 8)
+	if err != nil {
+		t.Fatalf("classed full sweep (10%% audit): %v", err)
+	}
+	t.Logf("classed:   %s", classed)
+	unclassed, err := n.Sweep(Options{K: 3, NoClasses: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unclassed: %s", unclassed)
+	diffSweepReports(t, "full WAN classed vs unclassed", classed, unclassed)
+	if classed.Audited == 0 {
+		t.Fatal("10% audit on the full WAN audited nothing")
 	}
 }
 
