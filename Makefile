@@ -17,9 +17,13 @@ race:
 # bench smoke-runs every benchmark once (-benchtime=1x): not a timing
 # run, just a guarantee that the evaluation harness keeps compiling and
 # completing. Real measurements use `go test -bench=.` defaults or
-# `hoyanbench -perf`.
+# `hoyanbench -perf`. The incremental-re-verification experiment smokes
+# on the medium preset with one iteration and no snapshot write; real
+# BENCH_PR4.json numbers come from `hoyanbench -exp incremental` on the
+# full preset.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) run ./cmd/hoyanbench -exp incremental -incr-preset medium -incr-iters 1 -incr-out=
 
 # bench-compare diffs the latest two committed perf snapshots
 # (BENCH_*.json) with per-metric deltas. Advisory: a regression prints

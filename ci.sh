@@ -7,8 +7,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 # Benchmark smoke: one iteration of every benchmark keeps the evaluation
-# harness honest without turning CI into a timing run.
+# harness honest without turning CI into a timing run. The incremental
+# experiment smokes on the medium preset without writing a snapshot.
 go test -bench=. -benchtime=1x -run='^$' .
+go run ./cmd/hoyanbench -exp incremental -incr-preset medium -incr-iters 1 -incr-out=
 # Perf trajectory: diff the latest two BENCH_*.json snapshots. Advisory
 # only — snapshot timings come from the machine that recorded them, so a
 # delta here informs rather than gates.

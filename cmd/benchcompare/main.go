@@ -93,9 +93,32 @@ func compareFiles(oldPath, newPath string) error {
 		fmt.Print(diffSnapshots(snapshot(oldDoc, label), snapshot(newDoc, label)))
 	}
 	if !shared {
-		return fmt.Errorf("%s and %s share no labels", oldPath, newPath)
+		// Files that share no labels (BENCH_PR3's before/after vs
+		// BENCH_PR4's resweep-* snapshots) still get a best-effort diff of
+		// their newest labels; metric groups only one side has print as
+		// new/gone rather than being silently dropped.
+		a, b := newestLabel(oldDoc), newestLabel(newDoc)
+		if a == "" || b == "" {
+			return fmt.Errorf("%s and %s share no labels", oldPath, newPath)
+		}
+		fmt.Printf("%s %q vs %s %q (no shared labels)\n",
+			filepath.Base(oldPath), a, filepath.Base(newPath), b)
+		fmt.Print(diffSnapshots(snapshot(oldDoc, a), snapshot(newDoc, b)))
 	}
 	return nil
+}
+
+// newestLabel picks a document's most recent snapshot: "after" when the
+// before/after convention is used, else the last label in sorted order.
+func newestLabel(doc map[string]any) string {
+	if _, b, ok := labelPair(doc); ok {
+		return b
+	}
+	ls := labels(doc)
+	if len(ls) == 0 {
+		return ""
+	}
+	return ls[len(ls)-1]
 }
 
 func load(path string) (map[string]any, error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,5 +71,64 @@ func TestLabelPair(t *testing.T) {
 func TestTrim(t *testing.T) {
 	if trim(8) != "8" || trim(307.995) != "307.995" {
 		t.Fatalf("trim: %q %q", trim(8), trim(307.995))
+	}
+}
+
+func TestResweepGroupsDiff(t *testing.T) {
+	old := snap(map[string]map[string]float64{
+		"resweep_full":        {"seconds": 90, "classes": 40},
+		"resweep_incremental": {"seconds": 10, "classes_dirty": 4, "classes_replayed": 36},
+	})
+	new := snap(map[string]map[string]float64{
+		"resweep_full":        {"seconds": 90, "classes": 40},
+		"resweep_incremental": {"seconds": 5, "classes_dirty": 2, "classes_replayed": 38, "speedup_vs_cold": 18},
+	})
+	got := diffSnapshots(old, new)
+	for _, want := range []string{
+		"resweep_full",
+		"resweep_incremental",
+		"seconds        10 -> 5 (-50.0%)",
+		"classes_dirty  4 -> 2 (-50.0%)",
+		"speedup_vs_cold (new) -> 18",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCompareFilesNoSharedLabels pins the cross-snapshot fallback: a
+// before/after file and a resweep-* file share no labels, so their
+// newest labels are diffed best-effort instead of erroring out.
+func TestCompareFilesNoSharedLabels(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_PR3.json")
+	newPath := filepath.Join(dir, "BENCH_PR4.json")
+	oldDoc := map[string]any{
+		"before": snap(map[string]map[string]float64{"sweep_full": {"seconds": 300}}),
+		"after":  snap(map[string]map[string]float64{"sweep_full": {"seconds": 90}}),
+	}
+	newDoc := map[string]any{
+		"resweep-full": snap(map[string]map[string]float64{
+			"resweep_incremental": {"seconds": 5, "speedup_vs_cold": 18},
+		}),
+	}
+	for path, doc := range map[string]map[string]any{oldPath: oldDoc, newPath: newDoc} {
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := compareFiles(oldPath, newPath); err != nil {
+		t.Fatalf("fallback comparison errored: %v", err)
+	}
+	if got := newestLabel(oldDoc); got != "after" {
+		t.Fatalf("newestLabel(before/after) = %q", got)
+	}
+	if got := newestLabel(newDoc); got != "resweep-full" {
+		t.Fatalf("newestLabel(resweep) = %q", got)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"hoyan/internal/gen"
 	"hoyan/internal/netaddr"
 	"hoyan/internal/racing"
+	"hoyan/internal/topo"
 )
 
 func usage() {
@@ -40,6 +41,18 @@ commands:
           [-hedge-after D] [-partial]           fault-tolerance knobs
           [-no-classes]                         one simulation per prefix instead
                                                 of per behavior class
+          [-baseline FILE]                      incremental re-verification: diff
+                                                against a saved baseline, simulate
+                                                only invalidated classes, replay
+                                                the rest (with -workers, only the
+                                                dirty classes are dispatched)
+          [-save-baseline FILE]                 local sweep that also captures a
+                                                baseline store (reports, taints,
+                                                portable conditions)
+          [-no-incremental]                     ignore -baseline, sweep cold
+          [-audit-sample F] [-threads N]        local sweep knobs: re-simulate a
+                                                fraction of replicas/replays;
+                                                goroutines (0 = GOMAXPROCS)
 
 every command also accepts -cpuprofile FILE and -memprofile FILE to
 write pprof profiles of the run.
@@ -71,6 +84,11 @@ func main() {
 	hedgeAfter := fs.Duration("hedge-after", 0, "sweep: re-dispatch stragglers to idle workers after this long (0 = off)")
 	partial := fs.Bool("partial", false, "sweep: report failed prefixes instead of aborting the run")
 	noClasses := fs.Bool("no-classes", false, "sweep: simulate every prefix instead of one representative per behavior class")
+	baseline := fs.String("baseline", "", "sweep: baseline result store for incremental re-verification")
+	saveBaseline := fs.String("save-baseline", "", "sweep: write a baseline result store after a local sweep")
+	noIncr := fs.Bool("no-incremental", false, "sweep: ignore -baseline and sweep cold")
+	auditSample := fs.Float64("audit-sample", 0, "sweep: fraction of replicated members and cached replays to re-simulate and check")
+	threads := fs.Int("threads", 0, "sweep: local goroutines when no -workers given (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
@@ -276,8 +294,19 @@ func main() {
 			exit(1)
 		}
 	case "sweep":
-		need(*workers, "-workers")
-		m, _ := build(snap)
+		if *saveBaseline != "" && *workers != "" {
+			fail("-save-baseline captures taints and conditions locally; drop -workers")
+		}
+		if *workers == "" {
+			if *baseline == "" && *saveBaseline == "" {
+				fail("missing -workers (local sweeps need -baseline or -save-baseline)")
+			}
+			localSweep(net, snap, *k, *noClasses, *noIncr, *auditSample, *threads, *baseline, *saveBaseline)
+			exit(0)
+		}
+		if *baseline != "" && *noClasses {
+			fmt.Println("note: -no-classes disables incremental replay; sweeping cold")
+		}
 		opts := dist.DefaultOptions()
 		opts.MaxAttempts = *retries
 		opts.RequestTimeout = *reqTimeout
@@ -285,6 +314,11 @@ func main() {
 		opts.HedgeAfter = *hedgeAfter
 		opts.AllowPartial = *partial
 		coord := &dist.Coordinator{Addrs: strings.Split(*workers, ","), Opts: opts}
+		if *baseline != "" && !*noIncr && !*noClasses {
+			distIncrementalSweep(coord, net, snap, *k, *baseline)
+			exit(0)
+		}
+		m, _ := build(snap)
 		var res *dist.Result
 		var err error
 		if *noClasses {
@@ -408,4 +442,120 @@ func minStr(min, k int) string {
 		return fmt.Sprintf(">%d", k)
 	}
 	return fmt.Sprint(min)
+}
+
+// localSweep runs Sweep/SweepBaseline in-process — the only mode that can
+// capture a baseline store (taint sets and portable conditions come from
+// live simulator state, which remote workers do not ship back).
+func localSweep(net *topo.Network, snap config.Snapshot, k int, noClasses, noIncr bool,
+	auditSample float64, threads int, baselinePath, savePath string) {
+	hn := hoyan.NetworkFrom(net, snap)
+	opts := hoyan.Options{K: k, NoClasses: noClasses, NoIncremental: noIncr, AuditSample: auditSample}
+	if baselinePath != "" {
+		store, err := hoyan.LoadResultStore(baselinePath)
+		if err != nil {
+			fail(err.Error())
+		}
+		opts.Baseline = store
+	}
+	var (
+		rep   *hoyan.SweepReport
+		store *hoyan.ResultStore
+		err   error
+	)
+	if savePath != "" {
+		rep, store, err = hn.SweepBaseline(opts, threads)
+	} else {
+		rep, err = hn.Sweep(opts, threads)
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("[violation] %s %s @ %s: %s\n", v.Kind, v.Prefix, v.Router, v.Details)
+	}
+	printInvalidation(rep.Delta, rep.Invalidation)
+	fmt.Println(rep)
+	if savePath != "" {
+		if err := store.Save(savePath); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("baseline written to %s (%d classes)\n", savePath, len(store.Classes))
+	}
+	if len(rep.Violations) > 0 {
+		exit(1)
+	}
+}
+
+// distIncrementalSweep plans invalidation locally against a saved
+// baseline and dispatches only the dirty classes to the workers; clean
+// classes' reports are replayed from the baseline client-side.
+func distIncrementalSweep(coord *dist.Coordinator, net *topo.Network, snap config.Snapshot, k int, baselinePath string) {
+	store, err := hoyan.LoadResultStore(baselinePath)
+	if err != nil {
+		fail(err.Error())
+	}
+	plan, err := hoyan.NetworkFrom(net, snap).PlanIncremental(hoyan.Options{K: k}, store)
+	if err != nil {
+		fail(err.Error())
+	}
+	printInvalidation(plan.Delta, plan.Stats)
+	dirtyPrefixes := 0
+	for _, job := range plan.DirtyJobs {
+		dirtyPrefixes += len(job)
+	}
+	res := &dist.Result{}
+	if len(plan.DirtyJobs) > 0 {
+		fmt.Printf("dispatching %d invalidated classes for %d prefixes\n", len(plan.DirtyJobs), dirtyPrefixes)
+		if res, err = coord.RunClasses(plan.DirtyJobs, k); err != nil {
+			fail(err.Error())
+		}
+	}
+	bad := 0
+	for p, sums := range res.ByPrefix {
+		for _, s := range sums {
+			if !s.Reachable {
+				fmt.Printf("[violation] %s unreachable at %s\n", p, s.Router)
+				bad++
+			}
+		}
+	}
+	for _, v := range plan.ReplayedViolations {
+		fmt.Printf("[violation] %s unreachable at %s (replayed from baseline)\n", v.Prefix, v.Router)
+		bad++
+	}
+	for _, f := range res.Failed {
+		fmt.Printf("[failed] %s after %d dispatches: %s\n", f.Prefix, f.Dispatches, f.LastError)
+	}
+	if res.Requeued+res.Retried+res.Hedged > 0 {
+		fmt.Printf("resilience: %d jobs re-queued, %d retried, %d hedged\n",
+			res.Requeued, res.Retried, res.Hedged)
+	}
+	fmt.Printf("incremental distributed sweep: %d prefixes simulated in %d classes over %d workers, %d prefixes replayed from %d cached classes, %d violations\n",
+		len(res.ByPrefix), len(plan.DirtyJobs), len(res.Assigned), len(plan.ReplayedSummaries), plan.ReplayedClasses, bad)
+	if bad > 0 || len(res.Failed) > 0 {
+		exit(1)
+	}
+}
+
+// printInvalidation reports what an incremental sweep decided and why.
+func printInvalidation(delta *core.ModelDelta, st *core.InvalidationStats) {
+	if st == nil {
+		return
+	}
+	if delta != nil && !delta.Empty() {
+		fmt.Println("model delta vs baseline:")
+		for _, it := range delta.Items {
+			fmt.Printf("  %s\n", it)
+		}
+	}
+	for _, note := range st.Notes {
+		fmt.Printf("note: %s\n", note)
+	}
+	mode := "selective"
+	if st.FullInvalidation {
+		mode = "full"
+	}
+	fmt.Printf("invalidation (%s): %d classes dirty, %d replayed, %d replays audited\n",
+		mode, st.ClassesDirty, st.ClassesReplayed, st.ReplaysAudited)
 }

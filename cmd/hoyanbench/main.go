@@ -10,6 +10,12 @@
 // a JSON file (default BENCH_PR3.json), merging with whatever labels are
 // already there. Committing the file after a perf PR keeps a before/after
 // record next to the code.
+//
+// `-exp incremental` measures incremental re-verification: a baseline
+// sweep is captured, one policy change is applied, and the cold re-sweep
+// is timed against the baseline-diffed incremental one. Metrics land in
+// BENCH_PR4.json (-incr-out) as the resweep_full / resweep_incremental
+// groups; -incr-preset/-incr-iters size the run.
 package main
 
 import (
@@ -30,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | all")
+	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | all")
 	budget := flag.Duration("budget", 60*time.Second, "per-cell budget for baseline comparisons")
 	months := flag.Int("months", 24, "campaign months for fig7")
 	limit := flag.Int("limit", 24, "prefix sample size for full-WAN experiments (0 = all)")
@@ -39,6 +45,9 @@ func main() {
 	workers := flag.Int("workers", 8, "sweep workers for -perf")
 	noClasses := flag.Bool("no-classes", false, "-perf: sweep every prefix instead of one representative per behavior class")
 	auditSample := flag.Float64("audit-sample", 0, "-perf: fully simulate this fraction of non-representative class members and diff against replicated results")
+	incrPreset := flag.String("incr-preset", "full", "incremental experiment: small | medium | full")
+	incrIters := flag.Int("incr-iters", 1, "incremental experiment: repetitions per measurement (min-of-N)")
+	incrOut := flag.String("incr-out", "BENCH_PR4.json", "incremental experiment: JSON snapshot to merge the metrics into (empty = don't write)")
 	flag.Parse()
 
 	if *perf != "" {
@@ -70,6 +79,23 @@ func main() {
 		{"appf", bench.AppendixFFormulas},
 		{"ablations", func() (bench.Table, error) { return bench.Ablations(gen.Medium(), *limit) }},
 		{"classes", bench.ClassStats},
+		{"incremental", func() (bench.Table, error) {
+			params, err := presetParams(*incrPreset)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			t, m, err := bench.IncrementalSweep(params, 3, *workers, *incrIters)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			if *incrOut != "" {
+				if err := writeIncrementalSnapshot(*incrOut, *incrPreset, m); err != nil {
+					return bench.Table{}, err
+				}
+				fmt.Printf("recorded resweep metrics in %s\n", *incrOut)
+			}
+			return t, nil
+		}},
 	}
 
 	ran := false
@@ -183,6 +209,62 @@ func runPerf(label, out string, workers int, noClasses bool, auditSample float64
 	}
 	fmt.Printf("recorded %q in %s\n", label, out)
 	return nil
+}
+
+// presetParams maps a preset name to its generator parameters.
+func presetParams(name string) (gen.Params, error) {
+	switch name {
+	case "small":
+		return gen.Small(), nil
+	case "medium":
+		return gen.Medium(), nil
+	case "full":
+		return gen.Full(), nil
+	}
+	return gen.Params{}, fmt.Errorf("unknown preset %q", name)
+}
+
+// writeIncrementalSnapshot merges the incremental-re-verification
+// metrics into the BENCH_PR4-style JSON file: one label per preset,
+// with resweep_full (cold re-sweep of the perturbed WAN) and
+// resweep_incremental (same network, baseline-diffed sweep) groups.
+func writeIncrementalSnapshot(out, preset string, m *bench.IncrementalMetrics) error {
+	snap := map[string]any{
+		"date":         time.Now().UTC().Format(time.RFC3339),
+		"go":           runtime.Version(),
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"perturbation": m.Perturbation,
+		"resweep_full": map[string]any{
+			"seconds":  m.ColdSeconds,
+			"prefixes": m.Prefixes,
+			"classes":  m.Classes,
+			"workers":  m.Workers,
+			"k":        m.K,
+		},
+		"resweep_incremental": map[string]any{
+			"seconds":          m.IncrementalSeconds,
+			"prefixes":         m.Prefixes,
+			"classes":          m.Classes,
+			"classes_dirty":    m.ClassesDirty,
+			"classes_replayed": m.ClassesReplayed,
+			"replays_audited":  m.ReplaysAudited,
+			"speedup_vs_cold":  m.Speedup,
+			"workers":          m.Workers,
+			"k":                m.K,
+		},
+	}
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	}
+	doc["resweep-"+preset] = snap
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
 }
 
 // sweepNetwork lifts a generated WAN into the public API.

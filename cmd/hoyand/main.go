@@ -6,7 +6,8 @@
 //	hoyand -dir /path/to/wan -http :8080 [-collector :8081] [-k 3]
 //
 // Endpoints: GET /v1/routers /v1/prefixes /v1/route /v1/packet
-// /v1/equivalence /v1/racing /v1/classes — see internal/httpapi.
+// /v1/equivalence /v1/racing /v1/classes, POST /v1/resweep (incremental
+// whole-network re-verification) — see internal/httpapi.
 //
 // Both planes shut down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests get a drain window and collector connections are unblocked.

@@ -165,6 +165,15 @@ type Options struct {
 	// recycling its simulator (fresh formula arena, IGP re-seeded from the
 	// shared memo); 0 = the default of 1.
 	ResetEvery int
+	// Baseline, when non-nil, makes Sweep incremental: the current model
+	// is diffed against the baseline's, only behavior classes the delta
+	// can affect are re-simulated, and cached reports are replayed for
+	// the rest (DESIGN.md, "Incremental re-verification"). Produce a
+	// baseline with SweepBaseline.
+	Baseline *ResultStore
+	// NoIncremental ignores Baseline and sweeps cold — the correctness
+	// escape hatch mirroring NoClasses.
+	NoIncremental bool
 }
 
 // TunedProfiles returns the fully tuned vendor behavior registry.
@@ -493,6 +502,14 @@ func LoadDirectory(dir string) (*Network, error) {
 		return nil, err
 	}
 	return &Network{net: topoNet, snap: snap}, nil
+}
+
+// NetworkFrom wraps an already-loaded topology and configuration
+// snapshot (the pair gen.LoadDir returns) into a Network, for callers —
+// the CLI and the HTTP service — that parse the on-disk format
+// themselves and then need Sweep/SweepBaseline/PlanIncremental.
+func NetworkFrom(net *topo.Network, snap config.Snapshot) *Network {
+	return &Network{net: net, snap: snap}
 }
 
 // MinRouterFailures returns the smallest number of ROUTER failures that

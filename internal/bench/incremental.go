@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hoyan"
+	"hoyan/internal/config"
+	"hoyan/internal/gen"
+)
+
+// IncrementalMetrics are the raw numbers behind the incremental
+// re-verification experiment, recorded as the resweep_full /
+// resweep_incremental metric groups of BENCH_PR4.json.
+type IncrementalMetrics struct {
+	ColdSeconds        float64
+	IncrementalSeconds float64
+	Speedup            float64
+	Prefixes           int
+	Classes            int
+	ClassesDirty       int
+	ClassesReplayed    int
+	ReplaysAudited     int
+	Violations         int
+	Workers            int
+	K                  int
+	Perturbation       string
+}
+
+// IncrementalSweep measures re-verification after a single policy change
+// two ways on one generated WAN: a cold classed sweep of the changed
+// network, and an incremental sweep of the same network against a
+// baseline captured before the change (core.Diff + taint-based class
+// invalidation + cached replay). Both timings are end-to-end wall clock
+// around Network.Sweep — assembly, classing, and for the incremental run
+// also diffing and planning are inside the measurement, so the speedup
+// is what an operator re-running the daily audit would see. iters
+// repeats each measurement and keeps the fastest run (min-of-N to shed
+// scheduler noise); 1 is the CI smoke setting.
+func IncrementalSweep(params gen.Params, k, workers, iters int) (Table, *IncrementalMetrics, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	w, err := gen.Generate(params)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	n := liftWAN(w)
+	opts := hoyan.Options{K: k}
+	_, store, err := n.SweepBaseline(opts, workers)
+	if err != nil {
+		return Table{}, nil, fmt.Errorf("baseline capture: %w", err)
+	}
+
+	step := gen.Perturb(w, 11, 1)[0]
+	if step.Kind != "policy" {
+		return Table{}, nil, fmt.Errorf("expected a policy perturbation first, got %q", step.Kind)
+	}
+	if err := n.ApplyUpdate(step.Device, step.Lines...); err != nil {
+		return Table{}, nil, err
+	}
+
+	var cold *hoyan.SweepReport
+	coldWall := time.Duration(0)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		rep, err := n.Sweep(opts, workers)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		if wall := time.Since(t0); i == 0 || wall < coldWall {
+			coldWall, cold = wall, rep
+		}
+	}
+
+	iopts := opts
+	iopts.Baseline = store
+	var incr *hoyan.SweepReport
+	incrWall := time.Duration(0)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		rep, err := n.Sweep(iopts, workers)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		if wall := time.Since(t0); i == 0 || wall < incrWall {
+			incrWall, incr = wall, rep
+		}
+	}
+	if incr.Invalidation == nil {
+		return Table{}, nil, fmt.Errorf("incremental sweep planned nothing (no invalidation stats)")
+	}
+	st := incr.Invalidation
+
+	m := &IncrementalMetrics{
+		ColdSeconds:        coldWall.Seconds(),
+		IncrementalSeconds: incrWall.Seconds(),
+		Speedup:            coldWall.Seconds() / incrWall.Seconds(),
+		Prefixes:           len(cold.Prefixes),
+		Classes:            cold.Classes,
+		ClassesDirty:       st.ClassesDirty,
+		ClassesReplayed:    st.ClassesReplayed,
+		ReplaysAudited:     st.ReplaysAudited,
+		Violations:         len(incr.Violations),
+		Workers:            workers,
+		K:                  k,
+		Perturbation:       step.Description,
+	}
+
+	t := Table{
+		Title:  fmt.Sprintf("Incremental re-verification — single policy change (%d routers, k=%d, %d workers)", w.Net.NumNodes(), k, workers),
+		Header: []string{"mode", "wall", "simulated", "replayed", "prefixes", "violations"},
+		Rows: [][]string{
+			{"cold resweep", fmtDur(coldWall), fmt.Sprint(cold.Classes), "0",
+				fmt.Sprint(len(cold.Prefixes)), fmt.Sprint(len(cold.Violations))},
+			{"incremental", fmtDur(incrWall), fmt.Sprint(st.ClassesDirty), fmt.Sprint(st.ClassesReplayed),
+				fmt.Sprint(len(incr.Prefixes)), fmt.Sprint(len(incr.Violations))},
+		},
+		Notes: []string{
+			"perturbation: " + step.Description,
+			fmt.Sprintf("delta kinds: %v; speedup %.1fx wall-clock (min of %d runs, assembly+diff+planning included)",
+				st.DeltaKinds, m.Speedup, iters),
+		},
+	}
+	return t, m, nil
+}
+
+// liftWAN lifts a generated WAN into the public API (the same network
+// cmd/hoyanbench sweeps for the perf trajectory).
+func liftWAN(w *gen.WAN) *hoyan.Network {
+	n := hoyan.NewNetwork()
+	for _, node := range w.Net.Nodes() {
+		n.AddRouter(hoyan.Router{Name: node.Name, AS: node.AS, Vendor: node.Vendor,
+			Region: node.Region, Group: node.Group})
+	}
+	for _, l := range w.Net.Links() {
+		n.AddLink(w.Net.Node(l.A).Name, w.Net.Node(l.B).Name, l.Weight)
+	}
+	for name, cfg := range w.Snap {
+		n.SetConfig(name, config.Write(cfg))
+	}
+	return n
+}

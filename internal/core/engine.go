@@ -79,6 +79,11 @@ type Stats struct {
 	MaxCondLen int
 	// Steps is the number of worklist node-processings.
 	Steps int
+	// Invalidation carries the incremental re-verification counters when
+	// this run was the representative re-simulation of a dirty class in a
+	// baseline sweep (diff.go). The engine never sets it; the sweep layer
+	// attaches the sweep-wide stats so per-run results are self-describing.
+	Invalidation *InvalidationStats
 }
 
 func (s *Stats) observeCondLen(n int) {
@@ -113,11 +118,12 @@ type Simulator struct {
 	IGP  *igp.Engine
 	Opts Options
 
-	shared     *Shared // non-nil when built via Shared.NewSimulator
-	sessions   []session
-	sessionsBy [][]int // outgoing session indices per node
-	sessionsTo [][]int // incoming session indices per node
-	igpLazy    map[int]bool
+	shared       *Shared // non-nil when built via Shared.NewSimulator
+	sessions     []session
+	sessionsBy   [][]int         // outgoing session indices per node
+	sessionsTo   [][]int         // incoming session indices per node
+	sessionLinks [][]topo.LinkID // direct links per session (empty for iBGP-via-IGP)
+	igpLazy      map[int]bool
 
 	// Per-factory fronts of the shared cross-prefix memo (shared.go):
 	// repeat queries on the same formula skip even the CanonicalKey walk.
@@ -148,6 +154,12 @@ type runScratch struct {
 	slots     [][]Entry
 
 	rankBGP, rankOther []Entry // rank's partition buffers
+
+	// Taint recording (taint.go): which nodes held or were offered family
+	// routes, and over which sessions routes were considered, during the
+	// current run. Plain bool stores in the hot path — near-zero cost.
+	taintNode []bool // per node
+	taintSess []bool // per session
 }
 
 // NewSimulator prepares the session table. iBGP session conditions are
@@ -194,6 +206,15 @@ func NewSimulator(m *Model, opts Options) *Simulator {
 				se.viaIGP = true
 				s.igpLazy[idx] = true
 			}
+			var dl []topo.LinkID
+			if !se.viaIGP {
+				for _, ad := range m.Net.Neighbors(node.ID) {
+					if ad.Peer == peer {
+						dl = append(dl, ad.Link)
+					}
+				}
+			}
+			s.sessionLinks = append(s.sessionLinks, dl)
 			s.sessions = append(s.sessions, se)
 			s.sessionsBy[node.ID] = append(s.sessionsBy[node.ID], idx)
 			s.sessionsTo[peer] = append(s.sessionsTo[peer], idx)
@@ -284,6 +305,8 @@ type Result struct {
 	ribs [][]Entry
 	// sessionMsgs[i] holds the final updates of session i.
 	sessionMsgs [][]Entry
+	// taint records what the run actually consulted (taint.go).
+	taint Taint
 }
 
 // prepareScratch sizes and clears the recycled per-run buffers.
@@ -293,19 +316,23 @@ func (s *Simulator) prepareScratch(n int) {
 		sc.locals = make([][]Entry, n)
 		sc.statics = make([][]Entry, n)
 		sc.inQueue = make([]bool, n)
+		sc.taintNode = make([]bool, n)
 	}
 	for i := 0; i < n; i++ {
 		sc.locals[i] = sc.locals[i][:0]
 		sc.statics[i] = sc.statics[i][:0]
 		sc.inQueue[i] = false
+		sc.taintNode[i] = false
 	}
 	if len(sc.contrib) < len(s.sessions) {
 		sc.contrib = make([][]Entry, len(s.sessions))
 		sc.changes = make([]int, len(s.sessions))
+		sc.taintSess = make([]bool, len(s.sessions))
 	}
 	for i := range sc.contrib {
 		sc.contrib[i] = nil
 		sc.changes[i] = 0
+		sc.taintSess[i] = false
 	}
 	if sc.prefixIdx == nil {
 		sc.prefixIdx = make(map[netaddr.Prefix]int, 16)
@@ -371,6 +398,9 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 				}
 			}
 			sc.statics[id] = append(sc.statics[id], Entry{Route: r, Cond: cond})
+		}
+		if len(sc.locals[id]) > 0 || len(sc.statics[id]) > 0 {
+			sc.taintNode[id] = true
 		}
 	}
 
@@ -485,6 +515,9 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 		all = append(all, sc.statics[id]...)
 		s.rank(all, id)
 		res.ribs[id] = all
+		if len(all) > 0 {
+			sc.taintNode[id] = true
+		}
 	}
 	// Recompute the final per-session wire updates (post-egress, pre-
 	// ingress) from the converged RIBs: the tuner compares these against
@@ -501,6 +534,7 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 		}
 	}
 	res.sessionMsgs = wire
+	res.taint = s.captureTaint()
 	return res, nil
 }
 
@@ -549,6 +583,7 @@ func (s *Simulator) announce(se session, si int, stats *Stats) (out, sent []Entr
 				break
 			}
 			stats.Branches++
+			sc.taintSess[si] = true
 			guard := s.F.And(notHigher, ent.Cond)
 			notHigher = s.F.And(notHigher, s.F.Not(ent.Cond))
 			eg := devU.ProcessEgress(ent.Route, devV)

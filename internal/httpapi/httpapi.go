@@ -7,10 +7,13 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
+	"hoyan"
 	"hoyan/internal/behavior"
 	"hoyan/internal/config"
 	"hoyan/internal/core"
@@ -29,6 +32,12 @@ type Service struct {
 	sim   *core.Simulator
 	k     int
 	cache map[netaddr.Prefix]*core.Result
+	// baseline is the result store the last /v1/resweep captured; the
+	// next resweep diffs against it and replays what the delta spares.
+	baseline *hoyan.ResultStore
+	// lastInval summarizes the last resweep's invalidation decisions for
+	// the /v1/classes counters.
+	lastInval *core.InvalidationStats
 }
 
 // New builds a service with failure budget k (0 = 3).
@@ -59,6 +68,10 @@ func New(net *topo.Network, snap config.Snapshot, k int) (*Service, error) {
 //	GET /v1/equivalence?a=R1&b=R2        role equivalence
 //	GET /v1/racing?prefix=P              update-racing ambiguity
 //	GET /v1/classes                      prefix behavior-class partition
+//	POST /v1/resweep                     whole-network sweep, incremental
+//	                                     against the previous resweep's
+//	                                     baseline (optional config updates
+//	                                     in the body)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/routers", s.handleRouters)
@@ -68,6 +81,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/equivalence", s.handleEquivalence)
 	mux.HandleFunc("GET /v1/racing", s.handleRacing)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("POST /v1/resweep", s.handleResweep)
 	return mux
 }
 
@@ -110,6 +124,8 @@ func (s *Service) handleRouters(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handlePrefixes(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var ps []string
 	for _, p := range s.model.AnnouncedPrefixes() {
 		ps = append(ps, p.String())
@@ -259,6 +275,8 @@ type ClassResponse struct {
 }
 
 func (s *Service) handleClasses(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []ClassResponse
 	for _, c := range s.model.Classes() {
 		cr := ClassResponse{Representative: c.Rep.String()}
@@ -267,7 +285,158 @@ func (s *Service) handleClasses(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, cr)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"classes": out})
+	body := map[string]any{"classes": out}
+	if s.lastInval != nil {
+		body["last_invalidation"] = invalidationBody(s.lastInval)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// ResweepUpdate is one device's incremental config change in a
+// /v1/resweep request ("no "-prefixed lines remove commands).
+type ResweepUpdate struct {
+	Device string   `json:"device"`
+	Lines  []string `json:"lines"`
+}
+
+// ResweepRequest is the JSON body of POST /v1/resweep. An empty body
+// sweeps the current snapshot as-is.
+type ResweepRequest struct {
+	Updates []ResweepUpdate `json:"updates"`
+	// NoIncremental ignores the held baseline and sweeps cold.
+	NoIncremental bool `json:"no_incremental"`
+	// AuditSample re-simulates this fraction of replayed classes and
+	// replicated members, failing the sweep on divergence (0 = none).
+	AuditSample float64 `json:"audit_sample"`
+	// Workers is the sweep goroutine count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+}
+
+// InvalidationBody mirrors core.InvalidationStats in JSON form.
+type InvalidationBody struct {
+	ClassesDirty     int            `json:"classes_dirty"`
+	ClassesReplayed  int            `json:"classes_replayed"`
+	ReplaysAudited   int            `json:"replays_audited"`
+	FullInvalidation bool           `json:"full_invalidation"`
+	DeltaKinds       map[string]int `json:"delta_kinds,omitempty"`
+	Notes            []string       `json:"notes,omitempty"`
+}
+
+func invalidationBody(st *core.InvalidationStats) *InvalidationBody {
+	return &InvalidationBody{
+		ClassesDirty:     st.ClassesDirty,
+		ClassesReplayed:  st.ClassesReplayed,
+		ReplaysAudited:   st.ReplaysAudited,
+		FullInvalidation: st.FullInvalidation,
+		DeltaKinds:       st.DeltaKinds,
+		Notes:            st.Notes,
+	}
+}
+
+// ViolationBody is one reachability violation in a resweep response.
+type ViolationBody struct {
+	Kind    string `json:"kind"`
+	Prefix  string `json:"prefix"`
+	Router  string `json:"router"`
+	Details string `json:"details"`
+}
+
+// ResweepResponse is the JSON body of POST /v1/resweep.
+type ResweepResponse struct {
+	// Incremental reports whether a baseline from a previous resweep was
+	// diffed against (the first resweep is always a cold, seeding sweep).
+	Incremental bool `json:"incremental"`
+	Prefixes    int  `json:"prefixes"`
+	Classes     int  `json:"classes"`
+	// Replayed counts classes served from the baseline without
+	// re-simulation.
+	Replayed   int             `json:"classes_replayed"`
+	DurationMS int64           `json:"duration_ms"`
+	Violations []ViolationBody `json:"violations,omitempty"`
+	// Delta lists the model changes the sweep acted on, one line each.
+	Delta        []string          `json:"delta,omitempty"`
+	Invalidation *InvalidationBody `json:"invalidation,omitempty"`
+}
+
+// handleResweep applies the request's config updates (if any), sweeps
+// the whole network incrementally against the baseline captured by the
+// previous resweep, commits the updated snapshot, and holds the new
+// baseline for the next call.
+func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
+	var req ResweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		badRequest(w, "bad body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	snap := s.snap
+	if len(req.Updates) > 0 {
+		ups := make([]config.Update, 0, len(req.Updates))
+		for _, u := range req.Updates {
+			ups = append(ups, config.Update{Device: u.Device, Lines: u.Lines})
+		}
+		next, err := snap.Apply(ups)
+		if err != nil {
+			badRequest(w, "apply updates: %v", err)
+			return
+		}
+		snap = next
+	}
+
+	opts := hoyan.Options{
+		K:             s.k,
+		Baseline:      s.baseline,
+		NoIncremental: req.NoIncremental,
+		AuditSample:   req.AuditSample,
+	}
+	rep, store, err := hoyan.NetworkFrom(s.net, snap).SweepBaseline(opts, req.Workers)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+
+	// Commit: the swept snapshot becomes the served one (queries now see
+	// the updated configs) and the fresh store the next baseline.
+	if len(req.Updates) > 0 {
+		m, err := core.Assemble(s.net, snap, behavior.TrueProfiles())
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		copts := core.DefaultOptions()
+		copts.K = s.k
+		s.snap = snap
+		s.model = m
+		s.sim = core.NewSimulator(m, copts)
+		s.cache = map[netaddr.Prefix]*core.Result{}
+	}
+	incremental := s.baseline != nil && !req.NoIncremental
+	s.baseline = store
+	s.lastInval = rep.Invalidation
+
+	resp := ResweepResponse{
+		Incremental: incremental,
+		Prefixes:    len(rep.Prefixes),
+		Classes:     rep.Classes,
+		Replayed:    rep.Replayed,
+		DurationMS:  rep.Duration.Milliseconds(),
+	}
+	for _, v := range rep.Violations {
+		resp.Violations = append(resp.Violations, ViolationBody{
+			Kind: v.Kind, Prefix: v.Prefix, Router: v.Router, Details: v.Details,
+		})
+	}
+	if rep.Delta != nil {
+		for _, it := range rep.Delta.Items {
+			resp.Delta = append(resp.Delta, it.String())
+		}
+	}
+	if rep.Invalidation != nil {
+		resp.Invalidation = invalidationBody(rep.Invalidation)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // RacingResponse is the JSON body of /v1/racing.

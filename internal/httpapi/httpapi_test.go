@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"hoyan/internal/behavior"
@@ -156,6 +157,81 @@ func TestBadRequests(t *testing.T) {
 		if e.Error == "" {
 			t.Errorf("%s: missing error body", path)
 		}
+	}
+}
+
+func post(t *testing.T, srv *httptest.Server, path, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestResweepEndpoint(t *testing.T) {
+	srv := httptest.NewServer(service(t).Handler())
+	defer srv.Close()
+
+	// First resweep: cold, seeds the baseline.
+	var seed ResweepResponse
+	if code := post(t, srv, "/v1/resweep", "", &seed); code != 200 {
+		t.Fatalf("seed status %d", code)
+	}
+	if seed.Incremental || seed.Replayed != 0 || seed.Classes != 1 || seed.Prefixes != 1 {
+		t.Fatalf("seed response %+v", seed)
+	}
+
+	// No-change resweep: everything replays.
+	var again ResweepResponse
+	if code := post(t, srv, "/v1/resweep", "{}", &again); code != 200 {
+		t.Fatalf("resweep status %d", code)
+	}
+	if !again.Incremental || again.Replayed != again.Classes || len(again.Delta) != 0 {
+		t.Fatalf("no-change resweep %+v", again)
+	}
+	if again.Invalidation == nil || again.Invalidation.ClassesDirty != 0 {
+		t.Fatalf("no-change invalidation %+v", again.Invalidation)
+	}
+
+	// A config update: A originates a second prefix. The delta is
+	// reported, the update is committed (the new prefix is queryable),
+	// and /v1/classes carries the invalidation counters.
+	body := `{"updates": [{"device": "A", "lines": ["router bgp 100", " network 11.0.0.0/8"]}]}`
+	var upd ResweepResponse
+	if code := post(t, srv, "/v1/resweep", body, &upd); code != 200 {
+		t.Fatalf("update status %d", code)
+	}
+	if !upd.Incremental || upd.Prefixes != 2 || len(upd.Delta) == 0 {
+		t.Fatalf("update resweep %+v", upd)
+	}
+	if upd.Invalidation == nil || upd.Invalidation.ClassesDirty == 0 {
+		t.Fatalf("update invalidation %+v", upd.Invalidation)
+	}
+	var route RouteResponse
+	if code := get(t, srv, "/v1/route?prefix=11.0.0.0/8&router=D", &route); code != 200 || !route.Reachable {
+		t.Fatalf("post-commit route %+v (%d)", route, code)
+	}
+	var classes struct {
+		Classes      []ClassResponse   `json:"classes"`
+		Invalidation *InvalidationBody `json:"last_invalidation"`
+	}
+	if code := get(t, srv, "/v1/classes", &classes); code != 200 {
+		t.Fatalf("classes status %d", code)
+	}
+	if classes.Invalidation == nil || classes.Invalidation.ClassesDirty != upd.Invalidation.ClassesDirty {
+		t.Fatalf("classes counters %+v, want %+v", classes.Invalidation, upd.Invalidation)
+	}
+
+	// Bad update bodies do not commit anything.
+	if code := post(t, srv, "/v1/resweep", `{"updates": [{"device": "nope", "lines": ["hostname x"]}]}`, nil); code != 400 {
+		t.Fatalf("bad device status %d", code)
 	}
 }
 

@@ -1,5 +1,10 @@
 package logic
 
+import (
+	"encoding/json"
+	"fmt"
+)
+
 // Portable is a factory-independent snapshot of one or more formulas.
 // It stores the reachable DAG in dependency order, so the same
 // conditions can be rebuilt inside any Factory — the mechanism the
@@ -92,4 +97,64 @@ func (p *Portable) Import(f *Factory) []F {
 		out[i] = ids[r]
 	}
 	return out
+}
+
+// portableJSON is the wire form of a Portable: the non-constant nodes as
+// [kind, var, a, b] quadruples (indices 0 and 1, the constants, are
+// implicit) plus the root indices. Used by the incremental result store
+// to persist reachability conditions across processes.
+type portableJSON struct {
+	Nodes [][4]int32 `json:"n"`
+	Roots []int32    `json:"r"`
+}
+
+// MarshalJSON encodes the snapshot for persistence.
+func (p *Portable) MarshalJSON() ([]byte, error) {
+	w := portableJSON{Nodes: make([][4]int32, 0, len(p.nodes)-2), Roots: p.roots}
+	for _, n := range p.nodes[2:] {
+		w.Nodes = append(w.Nodes, [4]int32{int32(n.k), int32(n.v), n.a, n.b})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a snapshot produced by MarshalJSON, validating
+// node kinds and child indices so a corrupted store cannot produce an
+// out-of-bounds Import.
+func (p *Portable) UnmarshalJSON(data []byte) error {
+	var w portableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	nodes := make([]pnode, 2, 2+len(w.Nodes))
+	nodes[False] = pnode{k: kConst}
+	nodes[True] = pnode{k: kConst}
+	for i, q := range w.Nodes {
+		self := int32(2 + i)
+		n := pnode{k: kind(q[0]), v: Var(q[1]), a: q[2], b: q[3]}
+		child := func(c int32) bool { return c >= 0 && c < self }
+		switch n.k {
+		case kVar:
+			n.a, n.b = 0, 0
+		case kNot:
+			if !child(n.a) {
+				return fmt.Errorf("logic: portable node %d: bad child %d", self, n.a)
+			}
+			n.b = 0
+		case kAnd, kOr:
+			if !child(n.a) || !child(n.b) {
+				return fmt.Errorf("logic: portable node %d: bad children %d,%d", self, n.a, n.b)
+			}
+		default:
+			return fmt.Errorf("logic: portable node %d: bad kind %d", self, n.k)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, r := range w.Roots {
+		if r < 0 || int(r) >= len(nodes) {
+			return fmt.Errorf("logic: portable root %d out of range", r)
+		}
+	}
+	p.nodes = nodes
+	p.roots = w.Roots
+	return nil
 }

@@ -36,7 +36,7 @@ type SweepReport struct {
 	Violations []Violation
 	Duration   time.Duration
 	Workers    int
-	// Classes is the number of simulations dispatched: the behavior-class
+	// Classes is the size of the dispatch partition: the behavior-class
 	// count, or the prefix count when classing is disabled (Options.
 	// NoClasses). See DESIGN.md, "Prefix equivalence classes".
 	Classes int
@@ -44,6 +44,16 @@ type SweepReport struct {
 	// simulated and diffed against their replicated report
 	// (Options.AuditSample). The sweep fails loudly on any divergence.
 	Audited int
+	// Replayed counts classes whose reports came from the baseline store
+	// instead of simulation (incremental mode; see DESIGN.md,
+	// "Incremental re-verification").
+	Replayed int
+	// Invalidation carries the incremental-mode counters and the delta
+	// kind histogram; nil for cold sweeps.
+	Invalidation *core.InvalidationStats
+	// Delta is the model delta an incremental sweep acted on; nil for
+	// cold sweeps (and for baseline-vs-NoClasses runs, which cannot plan).
+	Delta *core.ModelDelta
 }
 
 // Sweep verifies every announced prefix at every BGP router, sharded over
@@ -61,9 +71,40 @@ type SweepReport struct {
 // Options.NoClasses restores one-simulation-per-prefix, and
 // Options.AuditSample re-simulates a fraction of the members to check the
 // replication. workers <= 0 uses GOMAXPROCS.
+//
+// With Options.Baseline set (and NoIncremental unset), the sweep is
+// incremental: it diffs the current model against the baseline's,
+// re-simulates only the behavior classes the delta can affect, and
+// replays the baseline's cached reports for the rest. Results are
+// identical to a cold sweep by construction; Options.AuditSample also
+// re-simulates a sample of the replayed classes and fails loudly if a
+// cached report diverges.
 func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
+	rep, _, err := n.sweep(opts, workers, false)
+	return rep, err
+}
+
+// SweepBaseline is Sweep plus baseline capture: it returns a ResultStore
+// holding the swept model and every class's report, taint set, and
+// portable reachability condition, for use as Options.Baseline in later
+// incremental sweeps. When this sweep is itself incremental, replayed
+// classes carry their baseline records forward unchanged, so a
+// perturbation series pays capture cost only for re-simulated classes.
+func (n *Network) SweepBaseline(opts Options, workers int) (*SweepReport, *ResultStore, error) {
+	return n.sweep(opts, workers, true)
+}
+
+// sweepJob is one unit of worker work: a class (or singleton prefix)
+// simulation, or a replay audit of a cached record.
+type sweepJob struct {
+	members []netaddr.Prefix // simulate members[0], replicate to all
+	class   int              // index into classes; -1 when unclassed
+	audit   *ClassRecord     // non-nil: replay audit against this record
+}
+
+func (n *Network) sweep(opts Options, workers int, capture bool) (*SweepReport, *ResultStore, error) {
 	if len(n.errs) > 0 {
-		return nil, n.errs[0]
+		return nil, nil, n.errs[0]
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -71,57 +112,114 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	if opts.K == 0 {
 		opts.K = 3
 	}
+	if capture && opts.NoClasses {
+		return nil, nil, fmt.Errorf("hoyan: baseline capture requires behavior classes (NoClasses is set)")
+	}
 	reg := opts.Profiles
 	if reg == nil {
 		reg = behavior.TrueProfiles()
 	}
 	model, err := core.Assemble(n.net, n.snap, reg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	prefixes := model.AnnouncedPrefixes()
+	rep := &SweepReport{Workers: workers}
 	if len(prefixes) == 0 {
-		return &SweepReport{Workers: workers}, nil
+		if capture {
+			return rep, newStoreShell(n, opts), nil
+		}
+		return rep, nil, nil
 	}
 
-	// The dispatch list: one job per behavior class (members, representative
-	// first), or one singleton job per prefix with classing disabled.
-	var jobs [][]netaddr.Prefix
-	if opts.NoClasses {
+	var classes []core.PrefixClass
+	if !opts.NoClasses {
+		classes = model.Classes()
+	}
+
+	// Incremental planning: diff against the baseline, split classes into
+	// dirty (simulate) and clean (replay the cached record).
+	var plan *incrementalPlan
+	if opts.Baseline != nil && !opts.NoIncremental {
+		if opts.NoClasses {
+			rep.Invalidation = &core.InvalidationStats{
+				FullInvalidation: true,
+				Notes:            []string{"classing disabled (NoClasses); incremental replay unavailable, sweeping cold"},
+			}
+		} else {
+			plan = planIncremental(model, classes, opts.Baseline, opts, reg)
+			rep.Invalidation = plan.stats
+			rep.Delta = plan.delta
+		}
+	}
+
+	// The dispatch list. Replayed classes contribute no job unless
+	// selected for a replay audit.
+	var jobs []sweepJob
+	seed := opts.AuditSeed
+	if seed == 0 {
+		seed = 1
+	}
+	switch {
+	case opts.NoClasses:
 		for _, p := range prefixes {
-			jobs = append(jobs, []netaddr.Prefix{p})
+			jobs = append(jobs, sweepJob{members: []netaddr.Prefix{p}, class: -1})
 		}
-	} else {
-		for _, c := range model.Classes() {
-			jobs = append(jobs, c.Members)
+	case plan == nil:
+		for i, c := range classes {
+			jobs = append(jobs, sweepJob{members: c.Members, class: i})
 		}
-	}
-	// Workers beyond the dispatched job count would idle; clamp to what can
-	// actually run in parallel (jobs, not prefixes).
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	resetEvery := opts.ResetEvery
-	if resetEvery <= 0 {
-		resetEvery = 1
+	default:
+		arng := rand.New(rand.NewSource(seed + 1))
+		for i, c := range classes {
+			if plan.dirty[i] {
+				jobs = append(jobs, sweepJob{members: c.Members, class: i})
+				continue
+			}
+			// Replay the cached record; audit a seeded sample of replays.
+			rec := plan.records[i]
+			for _, p := range c.Members {
+				s := rec.Summary
+				s.Prefix = p.String()
+				rep.Prefixes = append(rep.Prefixes, s)
+				for _, v := range rec.Violations {
+					v.Prefix = p.String()
+					rep.Violations = append(rep.Violations, v)
+				}
+			}
+			rep.Replayed++
+			if opts.AuditSample > 0 && arng.Float64() < opts.AuditSample {
+				jobs = append(jobs, sweepJob{members: c.Members, class: i, audit: rec})
+			}
+		}
 	}
 
-	// Audit selection happens up front from a seeded source, so the chosen
-	// members do not depend on worker count or scheduling.
+	// Member-level audit selection happens up front from a seeded source,
+	// so the chosen members do not depend on worker count or scheduling.
 	audit := map[netaddr.Prefix]bool{}
 	if !opts.NoClasses && opts.AuditSample > 0 {
-		seed := opts.AuditSeed
-		if seed == 0 {
-			seed = 1
-		}
 		rng := rand.New(rand.NewSource(seed))
 		for _, job := range jobs {
-			for _, p := range job[1:] {
+			if job.audit != nil {
+				continue
+			}
+			for _, p := range job.members[1:] {
 				if rng.Float64() < opts.AuditSample {
 					audit[p] = true
 				}
 			}
 		}
+	}
+
+	// Workers beyond the dispatched job count would idle; clamp to what can
+	// actually run in parallel (jobs, not prefixes).
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	rep.Workers = workers
+	resetEvery := opts.ResetEvery
+	if resetEvery <= 0 {
+		resetEvery = 1
 	}
 
 	copts := core.DefaultOptions()
@@ -135,78 +233,113 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 	}
 
 	start := time.Now()
-	shared := core.NewShared(model, copts)
+	var captured []*ClassRecord
+	if capture {
+		captured = make([]*ClassRecord, len(classes))
+	}
 	type shardResult struct {
-		summaries  []PrefixSummary
-		violations []Violation
-		audited    int
-		err        error
+		summaries     []PrefixSummary
+		violations    []Violation
+		audited       int
+		replayAudited int
+		err           error
 	}
 	results := make([]shardResult, workers)
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func(wkr int) {
-			defer wg.Done()
-			sim := shared.NewSimulator()
-			done := 0
-			run := func(p netaddr.Prefix) (PrefixSummary, []Violation, error) {
-				// Unrelated prefixes share no conditions, so the formula
-				// arena only grows across runs; periodic resets keep both
-				// memory and hash-cons lookup costs flat. Re-seeding from
-				// the shared IGP memo makes a reset cheap.
-				if done > 0 && done%resetEvery == 0 {
-					sim.Reset()
-				}
-				done++
-				return sweepOne(sim, model, p, opts.K)
-			}
-			for i := wkr; i < len(jobs); i += workers {
-				job := jobs[i]
-				sum, viols, err := run(job[0])
-				if err != nil {
-					results[wkr].err = err
-					return
-				}
-				// Replicate the representative's report to every member,
-				// rewriting the prefix name.
-				for _, p := range job {
-					s := sum
-					s.Prefix = p.String()
-					results[wkr].summaries = append(results[wkr].summaries, s)
-					for _, v := range viols {
-						v.Prefix = p.String()
-						results[wkr].violations = append(results[wkr].violations, v)
+	if len(jobs) > 0 {
+		shared := core.NewShared(model, copts)
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				sim := shared.NewSimulator()
+				done := 0
+				// The returned Result is valid only until the next run call
+				// (the simulator recycles its arena); capture and audits use
+				// it immediately.
+				run := func(p netaddr.Prefix) (PrefixSummary, []Violation, *core.Result, error) {
+					// Unrelated prefixes share no conditions, so the formula
+					// arena only grows across runs; periodic resets keep both
+					// memory and hash-cons lookup costs flat. Re-seeding from
+					// the shared IGP memo makes a reset cheap.
+					if done > 0 && done%resetEvery == 0 {
+						sim.Reset()
 					}
+					done++
+					return sweepOne(sim, model, p, opts.K)
 				}
-				for _, p := range job[1:] {
-					if !audit[p] {
-						continue
-					}
-					asum, aviols, err := run(p)
+				for i := wkr; i < len(jobs); i += workers {
+					job := jobs[i]
+					sum, viols, res, err := run(job.members[0])
 					if err != nil {
 						results[wkr].err = err
 						return
 					}
-					if err := diffAudit(sum, viols, asum, aviols, job[0], p); err != nil {
-						results[wkr].err = err
-						return
+					if job.audit != nil {
+						if err := auditReplay(job.audit, sum, viols, res, model, job.members[0]); err != nil {
+							results[wkr].err = err
+							return
+						}
+						results[wkr].replayAudited++
+						continue
 					}
-					results[wkr].audited++
+					if plan != nil {
+						// A dirty class re-simulated under an incremental plan:
+						// stamp the sweep-wide counters so the run's Stats are
+						// self-describing (core.Stats.Invalidation).
+						res.Stats.Invalidation = plan.stats
+					}
+					if captured != nil && job.class >= 0 {
+						rec := captureRecord(res, model, classes[job.class], sum, viols)
+						captured[job.class] = &rec
+					}
+					// Replicate the representative's report to every member,
+					// rewriting the prefix name.
+					for _, p := range job.members {
+						s := sum
+						s.Prefix = p.String()
+						results[wkr].summaries = append(results[wkr].summaries, s)
+						for _, v := range viols {
+							v.Prefix = p.String()
+							results[wkr].violations = append(results[wkr].violations, v)
+						}
+					}
+					for _, p := range job.members[1:] {
+						if !audit[p] {
+							continue
+						}
+						asum, aviols, _, err := run(p)
+						if err != nil {
+							results[wkr].err = err
+							return
+						}
+						if err := diffAudit(sum, viols, asum, aviols, job.members[0], p); err != nil {
+							results[wkr].err = err
+							return
+						}
+						results[wkr].audited++
+					}
 				}
-			}
-		}(wkr)
+			}(wkr)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
-	rep := &SweepReport{Duration: time.Since(start), Workers: workers, Classes: len(jobs)}
+	rep.Duration = time.Since(start)
+	rep.Classes = len(classes)
+	if opts.NoClasses {
+		rep.Classes = len(prefixes)
+	}
 	for _, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			return nil, nil, r.err
 		}
 		rep.Prefixes = append(rep.Prefixes, r.summaries...)
 		rep.Violations = append(rep.Violations, r.violations...)
 		rep.Audited += r.audited
+		if rep.Invalidation != nil {
+			rep.Invalidation.ReplaysAudited += r.replayAudited
+		}
 	}
 	sort.Slice(rep.Prefixes, func(i, j int) bool { return rep.Prefixes[i].Prefix < rep.Prefixes[j].Prefix })
 	sort.Slice(rep.Violations, func(i, j int) bool {
@@ -215,17 +348,38 @@ func (n *Network) Sweep(opts Options, workers int) (*SweepReport, error) {
 		}
 		return rep.Violations[i].Router < rep.Violations[j].Router
 	})
-	return rep, nil
+
+	var store *ResultStore
+	if capture {
+		store = newStoreShell(n, opts)
+		for i, cls := range classes {
+			rec := captured[i]
+			if rec == nil && plan != nil && plan.records[i] != nil && !plan.dirty[i] {
+				// Carry the baseline record forward; only the fingerprint
+				// string can have shifted under unrelated edits.
+				carried := *plan.records[i]
+				carried.Fingerprint = cls.Fingerprint
+				rec = &carried
+			}
+			if rec == nil {
+				return nil, nil, fmt.Errorf("hoyan: internal: no record captured for class %d (%s)", i, cls.Rep)
+			}
+			store.Classes = append(store.Classes, *rec)
+		}
+	}
+	return rep, store, nil
 }
 
 // sweepOne simulates one prefix and derives its summary and violations —
 // the same code path whether the prefix is a class representative, a
-// singleton of an unclassed sweep, or an audit re-check of a member.
-func sweepOne(sim *core.Simulator, m *core.Model, p netaddr.Prefix, k int) (PrefixSummary, []Violation, error) {
+// singleton of an unclassed sweep, or an audit re-check of a member. The
+// Result is returned for immediate use (taint capture, condition export,
+// replay audits) and becomes invalid at the simulator's next run/Reset.
+func sweepOne(sim *core.Simulator, m *core.Model, p netaddr.Prefix, k int) (PrefixSummary, []Violation, *core.Result, error) {
 	t0 := time.Now()
 	res, err := sim.Run(p)
 	if err != nil {
-		return PrefixSummary{}, nil, err
+		return PrefixSummary{}, nil, nil, err
 	}
 	sum := PrefixSummary{
 		Prefix:      p.String(),
@@ -251,7 +405,31 @@ func sweepOne(sim *core.Simulator, m *core.Model, p netaddr.Prefix, k int) (Pref
 			sum.WeakestRouter = node.Name
 		}
 	}
-	return sum, viols, nil
+	return sum, viols, res, nil
+}
+
+// auditReplay checks a freshly simulated class representative against
+// the cached record the incremental sweep replayed for its class: the
+// report fields must match, and the stored portable condition DAG must
+// still be equivalent to the fresh reachability condition at the
+// record's anchor router.
+func auditReplay(rec *ClassRecord, sum PrefixSummary, viols []Violation,
+	res *core.Result, m *core.Model, p netaddr.Prefix) error {
+	if err := diffAudit(rec.Summary, rec.Violations, sum, viols, p, p); err != nil {
+		return fmt.Errorf("hoyan: incremental replay audit: stale cached report: %w", err)
+	}
+	if rec.Cond != nil && rec.CondRouter != "" {
+		node, ok := m.Net.NodeByName(rec.CondRouter)
+		if !ok {
+			return fmt.Errorf("hoyan: incremental replay audit for %s: anchor router %q not in model", p, rec.CondRouter)
+		}
+		fresh := res.ReachCond(node.ID, core.AnyRouteTo(p))
+		imported := rec.Cond.Import(res.Sim.F)
+		if len(imported) != 1 || !res.Sim.F.Equivalent(imported[0], fresh) {
+			return fmt.Errorf("hoyan: incremental replay audit for %s: stored reachability condition at %s no longer equivalent to fresh simulation", p, rec.CondRouter)
+		}
+	}
+	return nil
 }
 
 // diffAudit compares an audited member's fully simulated report against
@@ -288,6 +466,12 @@ func (r *SweepReport) String() string {
 		len(r.Prefixes), r.Classes, r.Workers, r.Duration.Round(time.Millisecond), len(r.Violations), weak)
 	if r.Audited > 0 {
 		s += fmt.Sprintf(", %d members audited", r.Audited)
+	}
+	if r.Replayed > 0 {
+		s += fmt.Sprintf(", %d classes replayed from baseline", r.Replayed)
+	}
+	if r.Invalidation != nil && r.Invalidation.ReplaysAudited > 0 {
+		s += fmt.Sprintf(", %d replays audited", r.Invalidation.ReplaysAudited)
 	}
 	return s + ")"
 }
