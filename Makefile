@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-compare
+.PHONY: build test vet lint race check bench bench-compare fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs hoyanlint (cmd/hoyanlint), the project's own go/analysis-style
+# suite: maporder, factorymix, hotpathalloc, netdeadline, locksift. Any
+# unsuppressed diagnostic fails the build; reviewed false positives carry
+# a `//lint:allow <analyzer> <reason>` comment. See DESIGN.md, "Static
+# analysis".
+lint:
+	$(GO) run ./cmd/hoyanlint ./...
 
 race:
 	$(GO) test -race ./...
@@ -32,7 +40,15 @@ bench:
 bench-compare:
 	-$(GO) run ./cmd/benchcompare
 
-# check is the CI gate: vet plus the full suite under the race detector.
-# The dist/collector chaos tests run here too — they are deterministic
-# (seeded faultnet, byte-budget fault schedules), so no flake allowance.
-check: vet race bench bench-compare
+# fuzz-smoke runs each fuzz target briefly — enough to replay the corpus
+# and shake out shallow parser regressions without turning CI into a
+# fuzzing campaign.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzPortableDecode -fuzztime=10s ./internal/logic/
+	$(GO) test -run='^$$' -fuzz=FuzzCollectorLine -fuzztime=10s ./internal/collector/
+
+# check is the CI gate: vet + hoyanlint, then the full suite under the
+# race detector and the benchmark smoke. The dist/collector chaos tests
+# run here too — they are deterministic (seeded faultnet, byte-budget
+# fault schedules), so no flake allowance.
+check: vet lint race bench bench-compare

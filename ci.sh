@@ -1,11 +1,28 @@
 #!/bin/sh
-# CI gate: build, vet, and the full test suite under the race detector.
-# Equivalent to `make check` for environments without make.
+# CI gate: build, static analysis, and the full test suite under the race
+# detector. Equivalent to `make check` plus fuzz smoke for environments
+# without make.
 set -eu
 
 go build ./...
 go vet ./...
+# hoyanlint is the project's own analysis suite (cmd/hoyanlint):
+# determinism, formula-safety and hot-path invariants. Unsuppressed
+# diagnostics fail CI.
+go run ./cmd/hoyanlint ./...
+# govulncheck is advisory when present: the container has no module
+# network access, so absence or failure must not gate the build.
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || echo "govulncheck: advisory, ignoring failure"
+else
+	echo "govulncheck: not installed, skipping (advisory)"
+fi
 go test -race ./...
+# Fuzz smoke: replay the corpus plus a few seconds of mutation on the
+# untrusted-input parsers. Failing inputs minimize into testdata/fuzz and
+# then fail `go test` forever after, so a crash found here stays fixed.
+go test -run='^$' -fuzz=FuzzPortableDecode -fuzztime=10s ./internal/logic/
+go test -run='^$' -fuzz=FuzzCollectorLine -fuzztime=10s ./internal/collector/
 # Benchmark smoke: one iteration of every benchmark keeps the evaluation
 # harness honest without turning CI into a timing run. The incremental
 # experiment smokes on the medium preset without writing a snapshot.

@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"hoyan"
@@ -212,7 +213,13 @@ func main() {
 			}
 		}
 		groups := m.Net.NodeGroups()
-		for g, members := range groups {
+		groupNames := make([]string, 0, len(groups))
+		for g := range groups {
+			groupNames = append(groupNames, g)
+		}
+		sort.Strings(groupNames)
+		for _, g := range groupNames {
+			members := groups[g]
 			for _, p := range m.AnnouncedPrefixes() {
 				res, err := sim.Run(p)
 				if err != nil {
@@ -346,8 +353,8 @@ func main() {
 			fail(err.Error())
 		}
 		bad := 0
-		for p, sums := range res.ByPrefix {
-			for _, s := range sums {
+		for _, p := range sortedPrefixes(res.ByPrefix) {
+			for _, s := range res.ByPrefix[p] {
 				if !s.Reachable {
 					fmt.Printf("[violation] %s unreachable at %s\n", p, s.Router)
 					bad++
@@ -427,6 +434,17 @@ func need(v, name string) {
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "hoyan:", msg)
 	exit(1)
+}
+
+// sortedPrefixes returns the result's prefix keys in sorted order so
+// violation reports print deterministically run to run.
+func sortedPrefixes(byPrefix map[string][]dist.RouterSummary) []string {
+	keys := make([]string, 0, len(byPrefix))
+	for p := range byPrefix {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func mustPrefix(s string) netaddr.Prefix {
@@ -512,8 +530,8 @@ func distIncrementalSweep(coord *dist.Coordinator, net *topo.Network, snap confi
 		}
 	}
 	bad := 0
-	for p, sums := range res.ByPrefix {
-		for _, s := range sums {
+	for _, p := range sortedPrefixes(res.ByPrefix) {
+		for _, s := range res.ByPrefix[p] {
 			if !s.Reachable {
 				fmt.Printf("[violation] %s unreachable at %s\n", p, s.Router)
 				bad++

@@ -1,0 +1,99 @@
+// Command hoyanlint runs the hoyan static-analysis suite (internal/lint)
+// over package patterns, in the spirit of a go/analysis multichecker:
+//
+//	hoyanlint ./...
+//	hoyanlint -list
+//	hoyanlint -only maporder,netdeadline ./...
+//
+// Diagnostics print as file:line:col: message (analyzer). The exit
+// status is 1 when any unsuppressed diagnostic is reported, 2 on driver
+// errors. Suppress a reviewed false positive with a trailing or
+// preceding comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The directive requires a reason; a bare directive suppresses nothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hoyan/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("unknown analyzer %q (try -list)", name)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.ListPackages(".", patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loader := lint.NewLoader()
+	if err := loader.IndexModule("."); err != nil {
+		fatalf("%v", err)
+	}
+
+	findings := 0
+	for _, p := range pkgs {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loader.LoadFiles(p.Dir, p.ImportPath, p.GoFiles)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fatalf("%s: %v", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hoyanlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hoyanlint: "+format+"\n", args...)
+	os.Exit(2)
+}

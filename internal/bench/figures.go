@@ -282,6 +282,7 @@ func Fig14Accuracy(params gen.Params) (Table, error) {
 	toPctSamples := func(acc map[netaddr.Prefix]float64) []int {
 		var out []int
 		for _, a := range acc {
+			//lint:allow maporder CDFIntRow sorts the samples before computing percentiles
 			out = append(out, int(a*100))
 		}
 		return out

@@ -225,9 +225,12 @@ type Client struct {
 	Timeout time.Duration
 }
 
-// Dial connects to a collector server.
+// Dial connects to a collector server. The connection attempt is
+// bounded by the DialWith default (2s) — an unresponsive collector must
+// never wedge the caller — but unlike DialWith there are no retries and
+// no per-request timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -398,29 +401,41 @@ func (c *Client) readRoutes() ([]RemoteRoute, error) {
 		if err != nil {
 			return nil, err
 		}
-		f := strings.Fields(line)
-		if len(f) != 9 || f[0] != "ROUTE" {
-			return nil, fmt.Errorf("%w: bad route line %q", ErrProtocol, line)
-		}
-		p, err := netaddr.Parse(f[1])
+		rr, err := parseRouteLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
-		}
-		lp, err1 := strconv.ParseUint(f[4], 10, 32)
-		med, err2 := strconv.ParseUint(f[5], 10, 32)
-		wt, err3 := strconv.ParseUint(f[6], 10, 32)
-		nh, err4 := strconv.ParseInt(f[7], 10, 32)
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-			return nil, fmt.Errorf("%w: bad numeric field in %q", ErrProtocol, line)
-		}
-		rr := RemoteRoute{
-			Prefix: p, Protocol: f[2], ASPath: f[3],
-			LocalPref: uint32(lp), MED: uint32(med), Weight: uint32(wt), NextHop: int32(nh),
-		}
-		if f[8] != "-" {
-			rr.Communities = strings.Split(f[8], ",")
+			return nil, err
 		}
 		out = append(out, rr)
 	}
 	return out, nil
+}
+
+// parseRouteLine decodes one "ROUTE ..." wire line. Every malformed
+// input — wrong field count, bad prefix, non-numeric attribute — must
+// return an ErrProtocol-wrapped error rather than a partially-filled
+// route; the fuzz target holds the parser to that contract.
+func parseRouteLine(line string) (RemoteRoute, error) {
+	f := strings.Fields(line)
+	if len(f) != 9 || f[0] != "ROUTE" {
+		return RemoteRoute{}, fmt.Errorf("%w: bad route line %q", ErrProtocol, line)
+	}
+	p, err := netaddr.Parse(f[1])
+	if err != nil {
+		return RemoteRoute{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	lp, err1 := strconv.ParseUint(f[4], 10, 32)
+	med, err2 := strconv.ParseUint(f[5], 10, 32)
+	wt, err3 := strconv.ParseUint(f[6], 10, 32)
+	nh, err4 := strconv.ParseInt(f[7], 10, 32)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return RemoteRoute{}, fmt.Errorf("%w: bad numeric field in %q", ErrProtocol, line)
+	}
+	rr := RemoteRoute{
+		Prefix: p, Protocol: f[2], ASPath: f[3],
+		LocalPref: uint32(lp), MED: uint32(med), Weight: uint32(wt), NextHop: int32(nh),
+	}
+	if f[8] != "-" {
+		rr.Communities = strings.Split(f[8], ",")
+	}
+	return rr, nil
 }

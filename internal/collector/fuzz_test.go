@@ -1,0 +1,50 @@
+package collector
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzCollectorLine holds parseRouteLine to its contract: any malformed
+// route line — truncated, wrong arity, bad prefix, overflowing numeric
+// attribute — returns an ErrProtocol-wrapped error and the zero route,
+// and any accepted line reflects exactly the fields it came from. The
+// collector talks to real device agents over the network, so this is the
+// untrusted-input surface of the comparison pipeline.
+func FuzzCollectorLine(f *testing.F) {
+	f.Add("ROUTE 10.0.0.0/8 bgp 65001_65002 100 0 0 3 65001:100,65001:200")
+	f.Add("ROUTE 10.0.0.0/8 connected - 0 0 0 -1 -")
+	f.Add("ROUTE 10.0.0.0/8 bgp -")
+	f.Add("ROUTE 10.0.0.0 bgp - 100 0 0 3 -")
+	f.Add("ROUTE 10.0.0.0/8 bgp - 99999999999999999999 0 0 3 -")
+	f.Add("OK 3")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		rr, err := parseRouteLine(line)
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("parse error for %q does not wrap ErrProtocol: %v", line, err)
+			}
+			if rr.ASPath != "" || rr.Communities != nil {
+				t.Fatalf("error path for %q returned a partially-filled route: %+v", line, rr)
+			}
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 9 || fields[0] != "ROUTE" {
+			t.Fatalf("accepted malformed line %q", line)
+		}
+		if rr.Protocol != fields[2] || rr.ASPath != fields[3] {
+			t.Fatalf("mis-parsed %q: got protocol %q aspath %q", line, rr.Protocol, rr.ASPath)
+		}
+		if fields[8] == "-" {
+			if rr.Communities != nil {
+				t.Fatalf("line %q has no communities but parse produced %v", line, rr.Communities)
+			}
+		} else if strings.Join(rr.Communities, ",") != fields[8] {
+			t.Fatalf("communities of %q do not round-trip: %v", line, rr.Communities)
+		}
+	})
+}

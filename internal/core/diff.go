@@ -278,8 +278,11 @@ func diffTopology(old, new *Model, d *ModelDelta) bool {
 		}
 		return out
 	}
+	// Delta items land in reports and replay plans verbatim, so emit
+	// them in sorted endpoint-pair order, never map order.
 	ow, nw := weights(old), weights(new)
-	for k, ws := range ow {
+	for _, k := range sortedKeys(ow) {
+		ws := ow[k]
 		nws, ok := nw[k]
 		switch {
 		case !ok:
@@ -289,7 +292,7 @@ func diffTopology(old, new *Model, d *ModelDelta) bool {
 				Detail: fmt.Sprintf("%s weights %v -> %v", k, ws, nws)})
 		}
 	}
-	for k := range nw {
+	for _, k := range sortedKeys(nw) {
 		if _, ok := ow[k]; !ok {
 			d.add(DeltaItem{Kind: DeltaLinkAdded, Full: true, Detail: k})
 		}
@@ -401,11 +404,23 @@ func diffNeighbors(ob, nb *config.BGP, name string, d *ModelDelta) {
 				Detail: "neighbor attributes differ"})
 		}
 	}
-	for peer := range oldBy {
+	for _, peer := range sortedKeys(oldBy) {
 		if !seen[peer] {
 			d.add(DeltaItem{Kind: DeltaSessionRemoved, Device: name, Peer: peer, AllPrefixes: true})
 		}
 	}
+}
+
+// sortedKeys returns the map's string keys in sorted order, so delta
+// emission never leaks map iteration order into reports or replay
+// plans.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func diffStatics(oc, nc *config.Device, name string,

@@ -506,14 +506,15 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 		if len(ready) > 0 {
 			send, next = handout, ready[0]
 		} else if opts.HedgeAfter > 0 {
-			// Oldest unsettled single-copy straggler.
+			// Oldest unsettled single-copy straggler; equal ages tie-break
+			// on prefix so hedge choice never follows map iteration order.
 			var hp string
 			var hf *flight
 			for p, f := range inflight {
 				if f.copies != 1 || settled[p] {
 					continue
 				}
-				if hf == nil || f.since.Before(hf.since) {
+				if hf == nil || f.since.Before(hf.since) || (f.since.Equal(hf.since) && p < hp) {
 					hp, hf = p, f
 				}
 			}

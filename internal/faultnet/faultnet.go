@@ -141,6 +141,7 @@ func (l *Listener) Close() error {
 	l.closed = true
 	conns := make([]*Conn, 0, len(l.conns))
 	for c := range l.conns {
+		//lint:allow maporder connections are only closed, in any order
 		conns = append(conns, c)
 	}
 	l.mu.Unlock()

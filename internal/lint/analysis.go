@@ -1,0 +1,117 @@
+// Package lint implements hoyanlint: a suite of static analyzers that
+// defend the verifier's determinism, formula-safety and hot-path
+// invariants at `make check` time, before a bug class can reach a sweep.
+//
+// The analyzers run over type-checked packages and report diagnostics:
+//
+//   - maporder: map iteration feeding report/hash/serialization sinks
+//     without an intervening sort — the bug class that breaks
+//     byte-identical replay and ResultStore keys.
+//   - factorymix: logic.F values from one logic.Factory used with
+//     another; conditions are factory-bound and only logic.Portable may
+//     cross factories.
+//   - hotpathalloc: allocation-causing constructs inside functions
+//     annotated `//hoyan:hotpath`.
+//   - netdeadline: network calls in the distribution/collection planes
+//     without a deadline, preserving the fault-tolerance contract.
+//   - locksift: mutexes copied by value or held across blocking calls.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so analyzers could migrate to the upstream framework
+// verbatim; the module carries no dependencies, so the tiny driver core
+// is reimplemented here on the standard library.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check, mirroring the upstream
+// go/analysis.Analyzer surface that hoyanlint needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant defended.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding against the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the full hoyanlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrderAnalyzer,
+		FactoryMixAnalyzer,
+		HotPathAllocAnalyzer,
+		NetDeadlineAnalyzer,
+		LockSiftAnalyzer,
+	}
+}
+
+// Run applies the analyzers to the package and returns the diagnostics
+// that survive `//lint:allow` suppression, sorted by position. This is
+// the one entry point shared by cmd/hoyanlint and the golden-test
+// harness, so suppression semantics cannot diverge between them.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, d := range pass.diags {
+			if !allows.suppressed(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

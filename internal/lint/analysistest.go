@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Expectation is one `// want "regexp"` annotation in a golden fixture.
+type Expectation struct {
+	File    string
+	Line    int
+	Pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRe extracts the quoted pattern of a want comment. Mirrors the
+// upstream analysistest convention: the comment sits on the line the
+// diagnostic is expected on.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// GoldenResult carries the outcome of one golden run for assertion by
+// the test.
+type GoldenResult struct {
+	Diagnostics []Diagnostic
+	Fset        *token.FileSet
+	Problems    []string
+}
+
+// RunGolden loads the fixture package at dir (testdata/src/<name>),
+// applies the analyzer, and cross-checks diagnostics against the
+// `// want "re"` comments in the fixture sources. Suppression via
+// `//lint:allow` is applied exactly as in cmd/hoyanlint, so fixtures can
+// pin both flagged and allowed cases. overrides maps fake import paths
+// to fixture directories.
+func RunGolden(a *Analyzer, dir string, overrides map[string]string) (*GoldenResult, error) {
+	loader := NewLoader()
+	keys := make([]string, 0, len(overrides))
+	for path := range overrides {
+		keys = append(keys, path)
+	}
+	sort.Strings(keys)
+	for _, path := range keys {
+		loader.Override(path, overrides[path])
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+	res := &GoldenResult{Diagnostics: diags, Fset: pkg.Fset}
+
+	expects, err := collectWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range diags {
+		pos := pkg.Fset.Position(diags[i].Pos)
+		if !matchWant(expects, pos.Filename, pos.Line, diags[i].Message) {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, diags[i].Message))
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", e.File, e.Line, e.Pattern))
+		}
+	}
+	return res, nil
+}
+
+func collectWants(pkg *Package) ([]*Expectation, error) {
+	var out []*Expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := strings.ReplaceAll(m[1], `\"`, `"`)
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &Expectation{File: pos.Filename, Line: pos.Line, Pattern: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+func matchWant(expects []*Expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.File != file || e.Line != line {
+			continue
+		}
+		if e.Pattern.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hoyan/internal/lint"
+)
+
+// runGoldenTest applies one analyzer to its fixture package and fails on
+// any mismatch between reported diagnostics and `// want` annotations.
+func runGoldenTest(t *testing.T, a *lint.Analyzer, fixture string, overrides map[string]string) {
+	t.Helper()
+	res, err := lint.RunGolden(a, filepath.Join("testdata", "src", fixture), overrides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Problems {
+		t.Error(p)
+	}
+	if len(res.Diagnostics) == 0 {
+		t.Error("fixture produced no diagnostics; the flagged cases are not exercising the analyzer")
+	}
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	runGoldenTest(t, lint.MapOrderAnalyzer, "maporder", nil)
+}
+
+func TestFactoryMixGolden(t *testing.T) {
+	runGoldenTest(t, lint.FactoryMixAnalyzer, "factorymix", map[string]string{
+		"hoyanfix/logic": filepath.Join("testdata", "src", "fakelogic"),
+	})
+}
+
+func TestHotPathAllocGolden(t *testing.T) {
+	runGoldenTest(t, lint.HotPathAllocAnalyzer, "hotpathalloc", nil)
+}
+
+func TestNetDeadlineGolden(t *testing.T) {
+	runGoldenTest(t, lint.NetDeadlineAnalyzer, "netdeadline", nil)
+}
+
+func TestLockSiftGolden(t *testing.T) {
+	runGoldenTest(t, lint.LockSiftAnalyzer, "locksift", nil)
+}
+
+// TestAnalyzersRegistered pins the suite: every analyzer is registered
+// exactly once and carries a name and doc for `hoyanlint -list`.
+func TestAnalyzersRegistered(t *testing.T) {
+	all := lint.Analyzers()
+	if len(all) != 5 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run func", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

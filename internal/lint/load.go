@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools:
+// repo-internal and standard-library imports resolve through compiled
+// export data located with `go list -export` (offline, build-cache
+// backed), and directories registered with Override — the golden-test
+// fixtures under testdata/src — resolve by recursive source loading.
+type Loader struct {
+	Fset *token.FileSet
+
+	mu        sync.Mutex
+	exports   map[string]string   // import path -> export data file
+	overrides map[string]string   // import path -> source directory
+	loaded    map[string]*Package // Override loads, memoized
+	gcImp     types.Importer
+}
+
+// NewLoader returns a loader with an empty export-data index; entries
+// are discovered lazily via `go list -export`.
+func NewLoader() *Loader {
+	l := &Loader{
+		Fset:      token.NewFileSet(),
+		exports:   map[string]string{},
+		overrides: map[string]string{},
+		loaded:    map[string]*Package{},
+	}
+	l.gcImp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l
+}
+
+// Override maps an import path to a source directory, used by the golden
+// tests to provide fake dependency packages under testdata/src.
+func (l *Loader) Override(importPath, dir string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.overrides[importPath] = dir
+}
+
+// IndexModule pre-resolves export data for every package the module
+// needs, with a single `go list` run from dir. Optional: lookups fall
+// back to per-path resolution.
+func (l *Loader) IndexModule(dir string) error {
+	out, err := runGoList(dir, "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, line := range strings.Split(out, "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if ok && file != "" {
+			l.exports[path] = file
+		}
+	}
+	return nil
+}
+
+// lookupExport feeds the gc importer: it opens the export data for one
+// import path, resolving unknown paths with a `go list -export` call.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		out, err := runGoList(".", "-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(out)
+		if file == "" {
+			return nil, fmt.Errorf("lint: empty export data path for %q", path)
+		}
+		l.mu.Lock()
+		l.exports[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: overrides first (recursive source
+// load), then compiled export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l.mu.Lock()
+	dir, isOverride := l.overrides[path]
+	l.mu.Unlock()
+	if isOverride {
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.gcImp.Import(path)
+}
+
+// LoadDir parses every non-test .go file in dir as the package with the
+// given import path and type-checks it. Loads are memoized by path, so
+// override packages imported from several fixtures check once.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.loaded[importPath]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	l.mu.Unlock()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return l.load(dir, importPath, names)
+}
+
+// LoadFiles type-checks an explicit file list (the build-constraint
+// filtered GoFiles of `go list`) as one package.
+func (l *Loader) LoadFiles(dir, importPath string, names []string) (*Package, error) {
+	return l.load(dir, importPath, names)
+}
+
+func (l *Loader) load(dir, importPath string, names []string) (*Package, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.Fset, Files: files, Pkg: tpkg, Info: info}
+	l.mu.Lock()
+	l.loaded[importPath] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// ListedPackage is the subset of `go list -json` hoyanlint consumes.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// ListPackages expands package patterns (e.g. "./...") from dir into
+// build-constraint-resolved package descriptions, excluding testdata
+// automatically like the go tool does.
+func ListPackages(dir string, patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	out, err := runGoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []ListedPackage
+	dec := json.NewDecoder(strings.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func runGoList(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	return stdout.String(), nil
+}

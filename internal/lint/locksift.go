@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSiftAnalyzer defends two mutex invariants in the coordinator and
+// everywhere else:
+//
+//   - no sync.Mutex / sync.RWMutex copied by value: function parameters
+//     and assignments that copy a mutex (or a struct directly embedding
+//     one) duplicate the lock state, so the copy guards nothing;
+//   - no lock held across a blocking call: between x.Lock() (or
+//     x.RLock()) and the matching x.Unlock() in the same block — or to
+//     the end of the function when the unlock is deferred — the function
+//     must not block on channel operations, select, time.Sleep,
+//     WaitGroup/Cond Wait, net dials, or net.Conn I/O. A worker stalled
+//     on a blackholed peer while holding the coordinator's mutex stalls
+//     every scheduler transition with it.
+var LockSiftAnalyzer = &Analyzer{
+	Name: "locksift",
+	Doc:  "flags mutexes copied by value or held across blocking calls",
+	Run:  runLockSift,
+}
+
+func runLockSift(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, fd := range funcDecls(pass.Files) {
+		checkMutexParams(pass, fd)
+		checkMutexCopies(pass, fd)
+		checkHeldAcrossBlocking(pass, info, fd)
+	}
+	return nil
+}
+
+// hasMutexValue reports whether t is sync.Mutex/RWMutex or a struct
+// with such a field at the top level (not behind a pointer).
+func hasMutexValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex") {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if namedFrom(ft, "sync", "Mutex") || namedFrom(ft, "sync", "RWMutex") {
+			if _, isPtr := ft.(*types.Pointer); !isPtr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkMutexParams(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if hasMutexValue(t) {
+			pass.Reportf(field.Pos(), "parameter passes a mutex by value in %s; pass a pointer", fd.Name.Name)
+		}
+	}
+}
+
+// checkMutexCopies flags assignments that copy an existing mutex-bearing
+// value (composite literals construct fresh state and are fine).
+func checkMutexCopies(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			if !copiesExistingValue(rhs) {
+				continue
+			}
+			if hasMutexValue(info.Types[rhs].Type) {
+				pass.Reportf(rhs.Pos(), "assignment copies a mutex by value in %s", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// copiesExistingValue reports whether evaluating e copies a value that
+// already exists elsewhere (identifier, field, deref, element) as
+// opposed to constructing one.
+func copiesExistingValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesExistingValue(x.X)
+	}
+	return false
+}
+
+// lockState tracks one held lock while scanning a statement list.
+type lockState struct {
+	obj      types.Object
+	lockPos  token.Pos
+	deferred bool
+}
+
+// checkHeldAcrossBlocking scans each block's statement list: from an
+// x.Lock() statement until the matching x.Unlock(), any blocking
+// construct is flagged. A deferred unlock holds to the end of the
+// function.
+func checkHeldAcrossBlocking(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	var scanBlock func(stmts []ast.Stmt, held []lockState)
+	scanBlock = func(stmts []ast.Stmt, held []lockState) {
+		held = append([]lockState(nil), held...)
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *ast.ExprStmt:
+				if obj, isLock, isUnlock := lockCall(info, s.X); obj != nil {
+					if isLock {
+						held = append(held, lockState{obj: obj, lockPos: s.Pos()})
+						continue
+					}
+					if isUnlock {
+						held = removeLock(held, obj)
+						continue
+					}
+				}
+			case *ast.DeferStmt:
+				if obj, _, isUnlock := lockCall(info, s.Call); obj != nil && isUnlock {
+					continue // releases at return; the lock stays "held" below by design
+				}
+			case *ast.BlockStmt:
+				scanBlock(s.List, held)
+				continue
+			}
+			if len(held) > 0 {
+				if pos, what := firstBlockingOp(info, st); pos.IsValid() {
+					pass.Reportf(pos, "%s while holding %q (locked at %s) in %s; release the lock before blocking",
+						what, held[len(held)-1].obj.Name(), pass.Fset.Position(held[len(held)-1].lockPos), fd.Name.Name)
+				}
+			}
+		}
+	}
+	scanBlock(fd.Body.List, nil)
+}
+
+func removeLock(held []lockState, obj types.Object) []lockState {
+	out := held[:0]
+	for _, h := range held {
+		if h.obj != obj {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// lockCall classifies x.Lock/RLock/Unlock/RUnlock calls on a
+// sync.Mutex/RWMutex-typed receiver and returns the receiver's root
+// object.
+func lockCall(info *types.Info, e ast.Expr) (obj types.Object, isLock, isUnlock bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false, false
+	}
+	name := methodName(call)
+	switch name {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+		isUnlock = true
+	default:
+		return nil, false, false
+	}
+	recv := methodRecv(call)
+	if recv == nil {
+		return nil, false, false
+	}
+	t := info.Types[recv].Type
+	if !namedFrom(t, "sync", "Mutex") && !namedFrom(t, "sync", "RWMutex") {
+		return nil, false, false
+	}
+	return rootObject(info, recv), isLock, isUnlock
+}
+
+// firstBlockingOp returns the position and description of the first
+// blocking construct inside the statement, or an invalid position.
+func firstBlockingOp(info *types.Info, st ast.Stmt) (token.Pos, string) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(st, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // goroutine/closure bodies run elsewhere
+		case *ast.SendStmt:
+			pos, what = x.Pos(), "channel send"
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pos, what = x.Pos(), "channel receive"
+			}
+		case *ast.SelectStmt:
+			pos, what = x.Pos(), "select"
+		case *ast.CallExpr:
+			if p, name, ok := calleePkgFunc(info, x); ok {
+				if p == "time" && name == "Sleep" {
+					pos, what = x.Pos(), "time.Sleep"
+				}
+				if p == "net" && (bareDialFuncs[name] || name == "DialTimeout") {
+					pos, what = x.Pos(), "net dial"
+				}
+				return true
+			}
+			name := methodName(x)
+			if name == "Wait" {
+				recv := methodRecv(x)
+				if recv != nil {
+					t := info.Types[recv].Type
+					if namedFrom(t, "sync", "WaitGroup") || namedFrom(t, "sync", "Cond") {
+						pos, what = x.Pos(), name+" on sync primitive"
+					}
+				}
+			}
+			if connIOMethods[name] || name == "Accept" {
+				if recv := methodRecv(x); recv != nil && (isNetConn(info.Types[recv].Type) || isNetListener(info.Types[recv].Type)) {
+					pos, what = x.Pos(), "net I/O"
+				}
+			}
+		}
+		return !pos.IsValid()
+	})
+	return pos, what
+}
+
+func isNetListener(t types.Type) bool {
+	return namedFrom(t, "net", "Listener") || namedFrom(t, "net", "TCPListener")
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags `range` over a map whose body feeds an
+// order-sensitive sink — the exact bug class that breaks byte-identical
+// replay and content-hashed ResultStore keys. Go randomizes map
+// iteration order per run, so anything a map-range emits in iteration
+// order (report lines, hash input, JSON streams, accumulated result
+// slices) differs between runs.
+//
+// Sinks:
+//
+//   - serialization calls inside the loop whose destination outlives the
+//     loop: fmt.Fprint*/Print*, Write/WriteString/WriteByte/WriteRune
+//     (strings.Builder, bytes.Buffer, hash.Hash, io.Writer), and
+//     json Encode;
+//   - accumulator methods named add/Add/append/Append/push/Push/
+//     record/Record on a value declared outside the loop;
+//   - `append` to a slice declared outside the loop.
+//
+// A later sort rescues the accumulator patterns: if, after the range
+// statement, the same function passes the destination to a sort.* /
+// slices.Sort* call (or any function whose name contains "sort"/"Sort"),
+// iteration order is laundered out and no diagnostic is issued.
+// Per-iteration builders (declared inside the loop body) are fine —
+// each iteration's bytes are self-contained.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration that writes to report, hash or serialization sinks without an intervening sort",
+	Run:  runMapOrder,
+}
+
+// serializeMethods write bytes in call order: emitting them while
+// ranging a map bakes the random order into output or hash state.
+var serializeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeToken": true,
+}
+
+// accumulateMethods grow an external collection in call order.
+var accumulateMethods = map[string]bool{
+	"add": true, "Add": true, "append": true, "Append": true,
+	"push": true, "Push": true, "record": true, "Record": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pass.TypesInfo.Types[rs.X].Type) {
+				return true
+			}
+			checkMapRange(pass, fd, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkSinkCall(pass, fd, rs, x)
+		case *ast.AssignStmt:
+			checkAppendSink(pass, fd, rs, x)
+		}
+		return true
+	})
+}
+
+// checkSinkCall flags serialization and accumulation calls whose
+// destination outlives the loop.
+func checkSinkCall(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// fmt.Fprint*(dst, ...) / fmt.Print* — the destination is the first
+	// argument (or the process stdout), always outliving the loop.
+	if pkg, name, ok := calleePkgFunc(info, call); ok && pkg == "fmt" {
+		if strings.HasPrefix(name, "Fprint") {
+			if obj := rootObject(info, call.Args[0]); obj != nil && within(obj.Pos(), rs.Body) {
+				return // per-iteration buffer
+			}
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map writes in nondeterministic order; sort keys first", name)
+			return
+		}
+		if strings.HasPrefix(name, "Print") {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map prints in nondeterministic order; sort keys first", name)
+			return
+		}
+		return
+	}
+
+	name := methodName(call)
+	recv := methodRecv(call)
+	if recv == nil {
+		return
+	}
+	// Method calls on the package-qualified form (pkg.Func) were handled
+	// above; only true method receivers remain interesting.
+	if id, ok := recv.(*ast.Ident); ok {
+		if _, isPkg := objectOf(info, id).(*types.PkgName); isPkg {
+			return
+		}
+	}
+	obj := rootObject(info, recv)
+	declaredInside := obj != nil && within(obj.Pos(), rs.Body)
+
+	if serializeMethods[name] {
+		if declaredInside {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s.%s inside range over map serializes in nondeterministic order; sort keys first", exprString(recv), name)
+		return
+	}
+	if accumulateMethods[name] {
+		if declaredInside || obj == nil {
+			return
+		}
+		if sortedLater(pass, fd, rs, obj) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s.%s inside range over map accumulates in nondeterministic order; sort keys first or sort the result", exprString(recv), name)
+	}
+}
+
+// checkAppendSink flags `dst = append(dst, ...)` where dst is declared
+// outside the loop and never sorted afterwards.
+func checkAppendSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, isIdent := call.Fun.(*ast.Ident); !isIdent || id.Name != "append" {
+			continue
+		}
+		dst := as.Lhs[i]
+		obj := rootObject(info, dst)
+		if obj == nil || within(obj.Pos(), rs.Body) {
+			continue // fresh slice per iteration: order-free
+		}
+		// Appending into a map element keyed per iteration is order-free.
+		if _, isIdx := dst.(*ast.IndexExpr); isIdx {
+			continue
+		}
+		if sortedLater(pass, fd, rs, obj) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "append to %q inside range over map accumulates in nondeterministic order; sort keys first or sort the result", obj.Name())
+	}
+}
+
+// sortedLater reports whether, after the range statement, the function
+// passes obj to a sorting call — sort.*, slices.Sort*, or any function
+// or method whose name contains "sort"/"Sort". That launders the map
+// order out of the accumulated value.
+func sortedLater(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortish(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			argObj := rootObject(info, arg)
+			if argObj == obj {
+				found = true
+				return false
+			}
+		}
+		// Method form: obj.Sort().
+		if recv := methodRecv(call); recv != nil && rootObject(info, recv) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortish(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name, ok := calleePkgFunc(info, call); ok {
+		if pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")) {
+			return true
+		}
+		return strings.Contains(strings.ToLower(name), "sort")
+	}
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	}
+	return false
+}
+
+// exprString renders short receiver expressions for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NetDeadlineAnalyzer preserves the fault-tolerance contract of the
+// distribution and collection planes (PR 1): every network operation
+// there must be bounded by a deadline, so a blackholed peer can never
+// wedge a sweep. It applies to packages named dist, collector and
+// httpapi and flags:
+//
+//   - deadline-less dial functions: net.Dial, net.DialTCP, net.DialUDP,
+//     net.DialIP, net.DialUnix. Allowed: net.DialTimeout, and
+//     (&net.Dialer{...}).DialContext / Dialer.Dial — the Dialer carries
+//     its own timeout or context;
+//   - direct Read/Write/ReadFrom/WriteTo calls on a net.Conn (or
+//     net.*Conn) value with no preceding SetDeadline /
+//     SetReadDeadline / SetWriteDeadline call on the same variable in
+//     the enclosing function.
+//
+// "Preceding" is textual within one function body: a helper that arms
+// the deadline (like collector.Client.arm) must be called, or the
+// deadline set, before the I/O statement. I/O through wrappers
+// (bufio, json codecs) is out of scope — wrap after arming.
+var NetDeadlineAnalyzer = &Analyzer{
+	Name: "netdeadline",
+	Doc:  "flags deadline-less net dials and conn I/O in the dist/collector/httpapi planes",
+	Run:  runNetDeadline,
+}
+
+// netDeadlinePackages are the package names under the contract.
+var netDeadlinePackages = map[string]bool{
+	"dist": true, "collector": true, "httpapi": true,
+}
+
+var bareDialFuncs = map[string]bool{
+	"Dial": true, "DialTCP": true, "DialUDP": true, "DialIP": true, "DialUnix": true,
+}
+
+var connIOMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+}
+
+func runNetDeadline(pass *Pass) error {
+	if pass.Pkg == nil || !netDeadlinePackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		checkNetDeadlineFunc(pass, fd)
+	}
+	return nil
+}
+
+func checkNetDeadlineFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, isPkgCall := calleePkgFunc(info, call); isPkgCall && pkg == "net" && bareDialFuncs[name] {
+			pass.Reportf(call.Pos(), "net.%s has no deadline; use net.DialTimeout or a net.Dialer with Timeout/DialContext", name)
+			return true
+		}
+		name := methodName(call)
+		if !connIOMethods[name] {
+			return true
+		}
+		recv := methodRecv(call)
+		if recv == nil || !isNetConn(info.Types[recv].Type) {
+			return true
+		}
+		if deadlineArmedBefore(info, fd, recv, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s.%s on net.Conn without a preceding Set(Read|Write)Deadline in this function", exprString(recv), name)
+		return true
+	})
+}
+
+// isNetConn reports whether t is net.Conn or a net package *XxxConn.
+func isNetConn(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return false
+	}
+	return obj.Name() == "Conn" || strings.HasSuffix(obj.Name(), "Conn")
+}
+
+// deadlineArmedBefore reports whether the same conn variable receives a
+// Set*Deadline call — directly or through a method call on the object
+// that owns it (e.g. c.arm()) — at a position before the I/O call.
+func deadlineArmedBefore(info *types.Info, fd *ast.FuncDecl, conn ast.Expr, io *ast.CallExpr) bool {
+	connObj := rootObject(info, conn)
+	armed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if armed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= io.Pos() || call == io {
+			return true
+		}
+		name := methodName(call)
+		if !strings.Contains(name, "Deadline") && !isArmHelper(call) {
+			return true
+		}
+		recv := methodRecv(call)
+		if recv == nil {
+			return true
+		}
+		if connObj != nil && rootObject(info, recv) == connObj {
+			armed = true
+			return false
+		}
+		return true
+	})
+	return armed
+}
+
+// isArmHelper recognizes method calls whose name suggests they apply the
+// deadline on behalf of the caller (arm, armDeadline, ...); the golden
+// tests pin this contract.
+func isArmHelper(call *ast.CallExpr) bool {
+	return strings.HasPrefix(strings.ToLower(methodName(call)), "arm")
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowDirective is one parsed `//lint:allow <analyzer> <reason>`.
+// A directive suppresses matching diagnostics on its own line (trailing
+// comment) and on the immediately following line (standalone comment).
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+type allowSet struct {
+	// byKey maps "file\x00line\x00analyzer" to a directive.
+	byKey map[string]allowDirective
+}
+
+const allowPrefix = "//lint:allow "
+
+// collectAllows scans every comment in the files for allow directives.
+// Malformed directives (missing analyzer name or reason) are ignored —
+// they suppress nothing, so the underlying diagnostic still surfaces,
+// which is the fail-safe direction.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{byKey: map[string]allowDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := allowDirective{file: pos.Filename, line: pos.Line, analyzer: name, reason: reason}
+				s.byKey[allowKey(d.file, d.line, name)] = d
+				s.byKey[allowKey(d.file, d.line+1, name)] = d
+			}
+		}
+	}
+	return s
+}
+
+func allowKey(file string, line int, analyzer string) string {
+	return file + "\x00" + strconv.Itoa(line) + "\x00" + analyzer
+}
+
+func (s *allowSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	_, ok := s.byKey[allowKey(pos.Filename, pos.Line, d.Analyzer)]
+	return ok
+}

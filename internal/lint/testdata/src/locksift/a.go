@@ -1,0 +1,48 @@
+// Package locksift is the golden fixture for the locksift analyzer.
+package locksift
+
+import (
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func lockByValue(mu sync.Mutex) { // want "parameter passes a mutex by value in lockByValue"
+	mu.Lock()
+	mu.Unlock()
+}
+
+func lockByPointer(mu *sync.Mutex) { // allowed: pointer shares the lock state
+	mu.Lock()
+	mu.Unlock()
+}
+
+func snapshot(r *registry) registry {
+	r.mu.Lock()
+	cp := *r // want "assignment copies a mutex by value in snapshot"
+	r.mu.Unlock()
+	return cp
+}
+
+func publishLocked(r *registry, ch chan int) {
+	r.mu.Lock()
+	ch <- len(r.items) // want "channel send while holding \"r\""
+	r.mu.Unlock()
+}
+
+func publishUnlocked(r *registry, ch chan int) {
+	r.mu.Lock()
+	n := len(r.items)
+	r.mu.Unlock()
+	ch <- n // allowed: lock released before the send
+}
+
+func sleepUnderDefer(r *registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding \"r\""
+}

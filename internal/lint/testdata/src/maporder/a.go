@@ -1,0 +1,61 @@
+// Package maporder is the golden fixture for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func printUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside range over map prints in nondeterministic order"
+	}
+}
+
+func printSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // allowed: keys are sorted below
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k]) // allowed: ranging a sorted slice, not a map
+	}
+}
+
+func serializeUnsorted(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "sb.WriteString inside range over map serializes in nondeterministic order"
+	}
+	return sb.String()
+}
+
+func perIterationBuffer(m map[string]int) []string {
+	var lines []string
+	for k, v := range m {
+		var sb strings.Builder
+		sb.WriteString(k) // allowed: builder declared inside the loop body
+		_ = v
+		lines = append(lines, sb.String()) // allowed: lines are sorted below
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func accumulateUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside range over map accumulates"
+	}
+	return out
+}
+
+func reviewedException(m map[string]func()) {
+	for name, stop := range m {
+		//lint:allow maporder shutdown order is immaterial
+		fmt.Printf("stopping %s\n", name)
+		stop()
+	}
+}

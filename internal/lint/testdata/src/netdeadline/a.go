@@ -1,0 +1,43 @@
+// The netdeadline analyzer only applies to packages named dist,
+// collector or httpapi, so this fixture declares itself dist.
+package dist
+
+import (
+	"net"
+	"time"
+)
+
+func dialBare(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "net.Dial has no deadline"
+}
+
+func dialBounded(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 2*time.Second) // allowed: bounded dial
+}
+
+func readBare(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want "c.Read on net.Conn without a preceding"
+}
+
+func readArmed(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return c.Read(buf) // allowed: deadline armed above
+}
+
+type client struct{ conn net.Conn }
+
+func (c *client) arm() error { return c.conn.SetDeadline(time.Now().Add(time.Second)) }
+
+func (c *client) read(buf []byte) (int, error) {
+	if err := c.arm(); err != nil {
+		return 0, err
+	}
+	return c.conn.Read(buf) // allowed: the arm helper applies the deadline
+}
+
+func reviewedBare(c net.Conn, buf []byte) (int, error) {
+	//lint:allow netdeadline caller arms the deadline before handing the conn over
+	return c.Read(buf)
+}

@@ -1,0 +1,40 @@
+package logic
+
+import "testing"
+
+// TestHotPathAllocBudget keeps the //hoyan:hotpath annotations honest:
+// once the arena and memo tables are warm, the annotated constructors and
+// BDD kernels must not allocate at all on the hash-cons / memo hit path.
+// The hotpathalloc analyzer bans alloc-causing constructs statically;
+// this test measures the same budget dynamically, so a regression that
+// slips past the syntactic check (e.g. a call that makes an argument
+// escape) still fails CI.
+func TestHotPathAllocBudget(t *testing.T) {
+	f := NewFactory()
+	a, b := f.Var(1), f.Var(2)
+
+	// Warm every node the measured loop touches, so the only work left is
+	// table hits: And/Or/Not/Var re-intern existing nodes, SAT replays the
+	// memoized BDD roots.
+	ab := f.And(a, b)
+	ob := f.Or(a, b)
+	na := f.Not(a)
+	if !f.SAT(ab) || !f.SAT(ob) || !f.SAT(na) {
+		t.Fatal("warmup formulas unexpectedly unsatisfiable")
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if f.And(a, b) != ab || f.Or(a, b) != ob || f.Not(a) != na {
+			t.Error("hash-consing no longer canonical")
+		}
+		if f.Var(1) != a {
+			t.Error("Var cache miss for a warm variable")
+		}
+		if !f.SAT(ab) {
+			t.Error("memoized SAT changed its answer")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm hot-path operations allocate %v times per run, want 0", allocs)
+	}
+}

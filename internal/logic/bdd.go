@@ -56,10 +56,15 @@ func newBDDSpace() *bddSpace {
 	}
 }
 
+//hoyan:hotpath
 func (s *bddSpace) nodeHash(n int32) uint64 {
 	return hash3(uint64(s.vars[n]), uint64(s.los[n]), uint64(s.his[n]))
 }
 
+// mk interns a BDD node in the unique table; allocation is limited to
+// the amortized arena appends.
+//
+//hoyan:hotpath
 func (s *bddSpace) mk(v Var, lo, hi int32) int32 {
 	if lo == hi {
 		return lo
@@ -94,6 +99,11 @@ func (s *bddSpace) probeSlot(h uint64, id int32) int {
 	return slot
 }
 
+// apply is the Shannon-expansion core of every BDD operation; it runs
+// once per (op, a, b) triple and must stay allocation-free outside the
+// memo table's amortized growth.
+//
+//hoyan:hotpath
 func (s *bddSpace) apply(op uint8, a, b int32) int32 {
 	switch op {
 	case opAnd:
@@ -146,6 +156,7 @@ func (s *bddSpace) apply(op uint8, a, b int32) int32 {
 	return r
 }
 
+//hoyan:hotpath
 func (s *bddSpace) topVar(n int32) Var {
 	if n <= bddTrue {
 		return math.MaxInt32
@@ -153,6 +164,7 @@ func (s *bddSpace) topVar(n int32) Var {
 	return s.vars[n]
 }
 
+//hoyan:hotpath
 func (s *bddSpace) cofactor(n int32, v Var) (lo, hi int32) {
 	if n <= bddTrue || s.vars[n] != v {
 		return n, n
@@ -163,6 +175,8 @@ func (s *bddSpace) cofactor(n int32, v Var) (lo, hi int32) {
 // negate computes ¬n by swapping terminals. Without complement edges this
 // is a linear walk; the cache is global to the space (negation is
 // idempotent, so staleness is impossible).
+//
+//hoyan:hotpath
 func (s *bddSpace) negate(n int32) int32 {
 	switch n {
 	case bddFalse:

@@ -82,6 +82,11 @@ func (f *Factory) nodeHash(id int32) uint64 {
 	return f.keyHash(nodeKey{k: n.k, v: n.v, a: n.a, b: n.b})
 }
 
+// mk interns a node, returning the existing id on a hash-cons hit. It
+// runs once per constructed formula node, so the only allocation it may
+// perform is the amortized arena append.
+//
+//hoyan:hotpath
 func (f *Factory) mk(key nodeKey, size int32) F {
 	h := f.keyHash(key)
 	id, slot, ok := f.intern.lookup(h, func(n int32) bool {
@@ -102,6 +107,8 @@ func (f *Factory) mk(key nodeKey, size int32) F {
 }
 
 // Var returns the formula consisting of the single positive literal v.
+//
+//hoyan:hotpath
 func (f *Factory) Var(v Var) F {
 	if int(v) < len(f.vars) && f.vars[v] != 0 {
 		return f.vars[v]
@@ -119,6 +126,8 @@ func (f *Factory) NotVar(v Var) F { return f.Not(f.Var(v)) }
 
 // Not returns the negation of a, applying double-negation and constant
 // elimination.
+//
+//hoyan:hotpath
 func (f *Factory) Not(a F) F {
 	switch a {
 	case False:
@@ -134,6 +143,8 @@ func (f *Factory) Not(a F) F {
 
 // And returns a∧b with local simplifications: identity, annihilator,
 // idempotence and complement detection (all O(1) thanks to hash-consing).
+//
+//hoyan:hotpath
 func (f *Factory) And(a, b F) F {
 	if a == False || b == False {
 		return False
@@ -157,6 +168,8 @@ func (f *Factory) And(a, b F) F {
 }
 
 // Or returns a∨b with the dual simplifications of And.
+//
+//hoyan:hotpath
 func (f *Factory) Or(a, b F) F {
 	if a == True || b == True {
 		return True
@@ -212,6 +225,7 @@ func (f *Factory) OrAll(fs ...F) F {
 	return f.Or(f.OrAll(fs[:mid]...), f.OrAll(fs[mid:]...))
 }
 
+//hoyan:hotpath
 func (f *Factory) sumSize(a, b F) int32 {
 	s := int64(f.nodes[a].size) + int64(f.nodes[b].size)
 	if s > math.MaxInt32 {
@@ -220,6 +234,7 @@ func (f *Factory) sumSize(a, b F) int32 {
 	return int32(s)
 }
 
+//hoyan:hotpath
 func (f *Factory) isComplement(a, b F) bool {
 	na, nb := f.nodes[a], f.nodes[b]
 	return (na.k == kNot && na.a == b) || (nb.k == kNot && nb.a == a)

@@ -1,0 +1,57 @@
+package logic
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPortableDecode hardens the persistence boundary: a Portable decoded
+// from arbitrary bytes must either be rejected by UnmarshalJSON or be a
+// fully valid snapshot — Import into a fresh factory never panics, and
+// the marshal → unmarshal → Import round-trip reproduces formulas with
+// identical canonical keys. A corrupted result store may lose data, but
+// it must never crash a worker or smuggle in a different formula.
+func FuzzPortableDecode(f *testing.F) {
+	fac := NewFactory()
+	x := fac.And(fac.Var(1), fac.Or(fac.Var(2), fac.Not(fac.Var(3))))
+	seed, err := json.Marshal(fac.Export(x))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"n":[],"r":[]}`))
+	f.Add([]byte(`{"n":[[1,7,0,0],[2,0,2,0]],"r":[3]}`))
+	f.Add([]byte(`{"n":[[0,0,0,0]],"r":[5]}`))
+	f.Add([]byte(`{"n":[[3,0,9,9]],"r":[2]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Portable
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		f1 := NewFactory()
+		roots := p.Import(f1)
+
+		out, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted snapshot failed: %v", err)
+		}
+		var p2 Portable
+		if err := json.Unmarshal(out, &p2); err != nil {
+			t.Fatalf("round-trip decode rejected own output %q: %v", out, err)
+		}
+		f2 := NewFactory()
+		roots2 := p2.Import(f2)
+		if len(roots) != len(roots2) {
+			t.Fatalf("root count changed across round-trip: %d != %d", len(roots), len(roots2))
+		}
+		for i := range roots {
+			k1, ok1 := f1.CanonicalKey(roots[i], 1<<16)
+			k2, ok2 := f2.CanonicalKey(roots2[i], 1<<16)
+			if ok1 != ok2 || k1 != k2 {
+				t.Fatalf("canonical key of root %d unstable across round-trip: %q vs %q", i, k1, k2)
+			}
+		}
+	})
+}

@@ -25,6 +25,8 @@ func newIDTable(capacity int) *idTable {
 
 // lookup probes for an id satisfying eq(id) at the given hash, returning
 // (id, true) on hit. On miss it returns the slot index for insert.
+//
+//hoyan:hotpath
 func (t *idTable) lookup(hash uint64, eq func(int32) bool) (int32, int, bool) {
 	mask := uint64(len(t.slots) - 1)
 	i := hash & mask
@@ -42,6 +44,8 @@ func (t *idTable) lookup(hash uint64, eq func(int32) bool) (int32, int, bool) {
 
 // insert stores id at the slot returned by lookup; the caller must rehash
 // via grow() when the load factor crosses 2/3.
+//
+//hoyan:hotpath
 func (t *idTable) insert(slot int, id int32) {
 	t.slots[slot] = id + 1
 	t.used++
@@ -85,6 +89,7 @@ func newU64Map(capacity int) *u64Map {
 	return &u64Map{keys: make([]uint64, size), vals: make([]int32, size)}
 }
 
+//hoyan:hotpath
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xFF51AFD7ED558CCD
@@ -94,6 +99,7 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+//hoyan:hotpath
 func (m *u64Map) get(key uint64) (int32, bool) {
 	mask := uint64(len(m.keys) - 1)
 	i := mix64(key) & mask
@@ -109,6 +115,7 @@ func (m *u64Map) get(key uint64) (int32, bool) {
 	}
 }
 
+//hoyan:hotpath
 func (m *u64Map) put(key uint64, val int32) {
 	if m.used*3 >= len(m.keys)*2 {
 		m.grow()
@@ -143,6 +150,7 @@ func (m *u64Map) grow() {
 	}
 }
 
+//hoyan:hotpath
 func hash3(a, b, c uint64) uint64 {
 	return mix64(a*0x9E3779B97F4A7C15 ^ b*0xC2B2AE3D27D4EB4F ^ c*0x165667B19E3779F9)
 }
