@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-compare fuzz-smoke
+.PHONY: build test vet lint race check bench bench-compare fuzz-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ bench:
 bench-compare:
 	-$(GO) run ./cmd/benchcompare
 
+# chaos runs the crash-recovery and multi-session suite under the race
+# detector: the faultnet × kill-point matrix (coordinator killed
+# mid-sweep, resumed, byte-compared against an uninterrupted run),
+# journal resume semantics, and interleaved sessions over a shared
+# worker pool. Deterministic: the seed is printed in every failure
+# message; reproduce a red run with CHAOS_SEED=<seed> make chaos.
+chaos:
+	$(GO) test -race -run 'Chaos|Session|Resume|Interleaved|LRU|ModelHash' ./internal/dist/
+	$(GO) run ./cmd/hoyanbench -exp recovery -rec-preset small -rec-iters 1 -rec-out=
+
 # fuzz-smoke runs each fuzz target briefly — enough to replay the corpus
 # and shake out shallow parser regressions without turning CI into a
 # fuzzing campaign.
@@ -51,4 +61,4 @@ fuzz-smoke:
 # race detector and the benchmark smoke. The dist/collector chaos tests
 # run here too — they are deterministic (seeded faultnet, byte-budget
 # fault schedules), so no flake allowance.
-check: vet lint race bench bench-compare
+check: vet lint race chaos bench bench-compare

@@ -18,6 +18,15 @@ else
 	echo "govulncheck: not installed, skipping (advisory)"
 fi
 go test -race ./...
+# Chaos gate: the crash-recovery matrix (faultnet modes × coordinator
+# kill points) and multi-session pool tests, explicitly under -race even
+# though the full suite above already covers them — this is the line to
+# re-run with CHAOS_SEED=<seed> when a failure names a seed. The
+# recovery experiment then smokes on the small preset without writing a
+# snapshot; real BENCH_PR6.json numbers come from `hoyanbench -exp
+# recovery` on the medium preset.
+go test -race -run 'Chaos|Session|Resume|Interleaved|LRU|ModelHash' ./internal/dist/
+go run ./cmd/hoyanbench -exp recovery -rec-preset small -rec-iters 1 -rec-out=
 # Fuzz smoke: replay the corpus plus a few seconds of mutation on the
 # untrusted-input parsers. Failing inputs minimize into testdata/fuzz and
 # then fail `go test` forever after, so a crash found here stays fixed.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +55,20 @@ commands:
           [-audit-sample F] [-threads N]        local sweep knobs: re-simulate a
                                                 fraction of replicas/replays;
                                                 goroutines (0 = GOMAXPROCS)
+          [-journal FILE]                       crash-safe sweep session: journal
+                                                class completions to FILE so a
+                                                killed coordinator can resume
+          [-resume]                             resume the -journal session:
+                                                replay journaled classes, dispatch
+                                                only the remainder
+          [-session ID]                         session id recorded in the journal
+
+exit codes:
+  0  verified clean
+  1  violations found, or the run errored
+  2  usage error
+  3  partial result: -partial was set and some prefixes never completed
+     (the sweep is incomplete, whatever it did complete is reported)
 
 every command also accepts -cpuprofile FILE and -memprofile FILE to
 write pprof profiles of the run.
@@ -90,6 +105,9 @@ func main() {
 	noIncr := fs.Bool("no-incremental", false, "sweep: ignore -baseline and sweep cold")
 	auditSample := fs.Float64("audit-sample", 0, "sweep: fraction of replicated members and cached replays to re-simulate and check")
 	threads := fs.Int("threads", 0, "sweep: local goroutines when no -workers given (0 = GOMAXPROCS)")
+	journal := fs.String("journal", "", "sweep: journal class completions to this file (crash-safe session)")
+	resume := fs.Bool("resume", false, "sweep: resume the -journal session instead of starting fresh")
+	sessionID := fs.String("session", "", "sweep: session id recorded in the journal (default derived from pid)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
@@ -304,6 +322,12 @@ func main() {
 		if *saveBaseline != "" && *workers != "" {
 			fail("-save-baseline captures taints and conditions locally; drop -workers")
 		}
+		if *journal != "" && (*workers == "" || *noClasses || *baseline != "") {
+			fail("-journal needs a distributed classed sweep (-workers, no -no-classes/-baseline)")
+		}
+		if *resume && *journal == "" {
+			fail("-resume needs -journal")
+		}
 		if *workers == "" {
 			if *baseline == "" && *saveBaseline == "" {
 				fail("missing -workers (local sweeps need -baseline or -save-baseline)")
@@ -320,10 +344,17 @@ func main() {
 		opts.DialTimeout = *dialTimeout
 		opts.HedgeAfter = *hedgeAfter
 		opts.AllowPartial = *partial
+		// Always pin the model: multi-session workers (-extra-dirs) hold
+		// several networks, and an unhashed request would silently run
+		// against whichever one is their default.
+		opts.ModelHash = dist.ModelHash(net, snap)
 		coord := &dist.Coordinator{Addrs: strings.Split(*workers, ","), Opts: opts}
 		if *baseline != "" && !*noIncr && !*noClasses {
-			distIncrementalSweep(coord, net, snap, *k, *baseline)
-			exit(0)
+			if store := loadBaseline(*baseline); store != nil {
+				distIncrementalSweep(coord, net, snap, *k, store)
+				exit(0)
+			}
+			fmt.Println("no usable baseline; sweeping cold")
 		}
 		m, _ := build(snap)
 		var res *dist.Result
@@ -346,8 +377,12 @@ func main() {
 				total += len(cl)
 				jobs = append(jobs, cl)
 			}
-			fmt.Printf("dispatching %d behavior classes for %d prefixes\n", len(jobs), total)
-			res, err = coord.RunClasses(jobs, *k)
+			if *journal != "" {
+				res, err = sessionSweep(coord, jobs, total, *k, *journal, *sessionID, *resume, net, snap)
+			} else {
+				fmt.Printf("dispatching %d behavior classes for %d prefixes\n", len(jobs), total)
+				res, err = coord.RunClasses(jobs, *k)
+			}
 		}
 		if err != nil {
 			fail(err.Error())
@@ -368,15 +403,30 @@ func main() {
 			fmt.Printf("resilience: %d jobs re-queued, %d retried, %d hedged\n",
 				res.Requeued, res.Retried, res.Hedged)
 		}
-		if res.Classes > 0 {
+		if res.Resumed+res.Redispatched > 0 {
+			fmt.Printf("session: %d classes replayed from the journal, %d re-dispatched after the crash\n",
+				res.Resumed, res.Redispatched)
+		}
+		if res.Classes+res.Resumed > 0 {
 			fmt.Printf("distributed sweep: %d/%d prefixes (%d classes, %d replicated) over %d workers, %d violations\n",
-				len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), res.Classes, res.Replicated, len(res.Assigned), bad)
+				len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), res.Classes+res.Resumed, res.Replicated, len(res.Assigned), bad)
 		} else {
 			fmt.Printf("distributed sweep: %d/%d prefixes over %d workers, %d violations\n",
 				len(res.ByPrefix), len(res.ByPrefix)+len(res.Failed), len(res.Assigned), bad)
 		}
-		if bad > 0 || len(res.Failed) > 0 {
-			exit(1)
+		// Exit codes (documented in usage): incompleteness dominates, so a
+		// -partial run with failed prefixes is 3 even when the completed
+		// subset is clean — CI must not mistake a partial sweep for a
+		// verified network.
+		code := 0
+		if bad > 0 {
+			code = 1
+		}
+		if len(res.Failed) > 0 {
+			code = 3
+		}
+		if code != 0 {
+			exit(code)
 		}
 	default:
 		usage()
@@ -462,6 +512,77 @@ func minStr(min, k int) string {
 	return fmt.Sprint(min)
 }
 
+// sessionSweep runs (or resumes) a journaled distributed sweep: every
+// class completion is fsync'd to the journal before it is counted, so a
+// killed coordinator resumes with -resume and re-simulates only the
+// classes the journal does not cover. The journal is removed after a
+// fully successful run and kept (with a hint) otherwise.
+func sessionSweep(coord *dist.Coordinator, jobs [][]string, total, k int,
+	path, id string, resume bool, net *topo.Network, snap config.Snapshot) (*dist.Result, error) {
+	modelHash := dist.ModelHash(net, snap)
+	var s *dist.Session
+	var err error
+	if resume {
+		s, err = dist.Resume(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.MatchesClasses(jobs); err != nil {
+			s.Close()
+			return nil, err
+		}
+		fmt.Printf("resuming session %s: %d/%d classes journaled done, %d were in flight at the crash\n",
+			s.ID(), s.Completed(), len(jobs), s.Redispatched())
+	} else {
+		if id == "" {
+			id = fmt.Sprintf("sweep-%d", os.Getpid())
+		}
+		s, err = dist.NewSession(path, id, k, "", modelHash, jobs)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("session %s: dispatching %d behavior classes for %d prefixes (journal %s)\n",
+			id, len(jobs), total, path)
+	}
+	defer s.Close()
+	coord.Opts.Session = s.ID()
+	coord.Opts.ModelHash = modelHash
+	res, err := coord.RunSession(s, k)
+	if err == nil && res != nil && len(res.Failed) == 0 {
+		if rmErr := s.Remove(); rmErr != nil {
+			fmt.Fprintln(os.Stderr, "hoyan: removing completed journal:", rmErr)
+		}
+	} else {
+		fmt.Printf("journal kept at %s; resume with: hoyan sweep ... -journal %s -resume\n", path, path)
+	}
+	return res, err
+}
+
+// loadBaseline loads a result store, degrading the way the operator
+// wants: a partially usable store (bad records quarantined in memory) is
+// kept with a warning, an unusable one is quarantined on disk and nil is
+// returned so the caller sweeps cold.
+func loadBaseline(path string) *hoyan.ResultStore {
+	store, err := hoyan.LoadResultStore(path)
+	var ce *hoyan.CorruptStoreError
+	if errors.As(err, &ce) {
+		fmt.Fprintln(os.Stderr, "hoyan: warning:", ce.Error())
+		if ce.Usable {
+			return store
+		}
+		qp, qerr := hoyan.QuarantineResultStore(path)
+		if qerr != nil {
+			fail(qerr.Error())
+		}
+		fmt.Fprintf(os.Stderr, "hoyan: corrupt store moved to %s\n", qp)
+		return nil
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	return store
+}
+
 // localSweep runs Sweep/SweepBaseline in-process — the only mode that can
 // capture a baseline store (taint sets and portable conditions come from
 // live simulator state, which remote workers do not ship back).
@@ -470,11 +591,10 @@ func localSweep(net *topo.Network, snap config.Snapshot, k int, noClasses, noInc
 	hn := hoyan.NetworkFrom(net, snap)
 	opts := hoyan.Options{K: k, NoClasses: noClasses, NoIncremental: noIncr, AuditSample: auditSample}
 	if baselinePath != "" {
-		store, err := hoyan.LoadResultStore(baselinePath)
-		if err != nil {
-			fail(err.Error())
+		opts.Baseline = loadBaseline(baselinePath)
+		if opts.Baseline == nil {
+			fmt.Println("no usable baseline; sweeping cold")
 		}
-		opts.Baseline = store
 	}
 	var (
 		rep   *hoyan.SweepReport
@@ -508,11 +628,7 @@ func localSweep(net *topo.Network, snap config.Snapshot, k int, noClasses, noInc
 // distIncrementalSweep plans invalidation locally against a saved
 // baseline and dispatches only the dirty classes to the workers; clean
 // classes' reports are replayed from the baseline client-side.
-func distIncrementalSweep(coord *dist.Coordinator, net *topo.Network, snap config.Snapshot, k int, baselinePath string) {
-	store, err := hoyan.LoadResultStore(baselinePath)
-	if err != nil {
-		fail(err.Error())
-	}
+func distIncrementalSweep(coord *dist.Coordinator, net *topo.Network, snap config.Snapshot, k int, store *hoyan.ResultStore) {
 	plan, err := hoyan.NetworkFrom(net, snap).PlanIncremental(hoyan.Options{K: k}, store)
 	if err != nil {
 		fail(err.Error())
@@ -551,8 +667,15 @@ func distIncrementalSweep(coord *dist.Coordinator, net *topo.Network, snap confi
 	}
 	fmt.Printf("incremental distributed sweep: %d prefixes simulated in %d classes over %d workers, %d prefixes replayed from %d cached classes, %d violations\n",
 		len(res.ByPrefix), len(plan.DirtyJobs), len(res.Assigned), len(plan.ReplayedSummaries), plan.ReplayedClasses, bad)
-	if bad > 0 || len(res.Failed) > 0 {
-		exit(1)
+	code := 0
+	if bad > 0 {
+		code = 1
+	}
+	if len(res.Failed) > 0 {
+		code = 3 // partial result: see the exit-code table in usage
+	}
+	if code != 0 {
+		exit(code)
 	}
 }
 

@@ -16,6 +16,13 @@
 // is timed against the baseline-diffed incremental one. Metrics land in
 // BENCH_PR4.json (-incr-out) as the resweep_full / resweep_incremental
 // groups; -incr-preset/-incr-iters size the run.
+//
+// `-exp recovery` measures coordinator crash recovery: a journaled sweep
+// session is killed once half its classes are durable, resumed from the
+// journal, and the resume wall-clock (replay + re-dispatch of the
+// unfinished half) is compared against a cold sweep. Metrics land in
+// BENCH_PR6.json (-rec-out) as the recovery_cold / recovery_resumed
+// groups; -rec-preset/-rec-iters size the run.
 package main
 
 import (
@@ -36,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | all")
+	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | recovery | all")
 	budget := flag.Duration("budget", 60*time.Second, "per-cell budget for baseline comparisons")
 	months := flag.Int("months", 24, "campaign months for fig7")
 	limit := flag.Int("limit", 24, "prefix sample size for full-WAN experiments (0 = all)")
@@ -48,6 +55,9 @@ func main() {
 	incrPreset := flag.String("incr-preset", "full", "incremental experiment: small | medium | full")
 	incrIters := flag.Int("incr-iters", 1, "incremental experiment: repetitions per measurement (min-of-N)")
 	incrOut := flag.String("incr-out", "BENCH_PR4.json", "incremental experiment: JSON snapshot to merge the metrics into (empty = don't write)")
+	recPreset := flag.String("rec-preset", "medium", "recovery experiment: small | medium | full")
+	recIters := flag.Int("rec-iters", 1, "recovery experiment: repetitions per measurement (min-of-N)")
+	recOut := flag.String("rec-out", "BENCH_PR6.json", "recovery experiment: JSON snapshot to merge the metrics into (empty = don't write)")
 	flag.Parse()
 
 	if *perf != "" {
@@ -93,6 +103,23 @@ func main() {
 					return bench.Table{}, err
 				}
 				fmt.Printf("recorded resweep metrics in %s\n", *incrOut)
+			}
+			return t, nil
+		}},
+		{"recovery", func() (bench.Table, error) {
+			params, err := presetParams(*recPreset)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			t, m, err := bench.RecoverySweep(params, 3, 2, *recIters)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			if *recOut != "" {
+				if err := writeRecoverySnapshot(*recOut, *recPreset, m); err != nil {
+					return bench.Table{}, err
+				}
+				fmt.Printf("recorded recovery metrics in %s\n", *recOut)
 			}
 			return t, nil
 		}},
@@ -260,6 +287,46 @@ func writeIncrementalSnapshot(out, preset string, m *bench.IncrementalMetrics) e
 		}
 	}
 	doc["resweep-"+preset] = snap
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
+
+// writeRecoverySnapshot merges the crash-recovery metrics into the
+// BENCH_PR6-style JSON file: one label per preset, with recovery_cold
+// (uninterrupted classed sweep) and recovery_resumed (journal replay +
+// re-dispatch after a mid-sweep coordinator kill) groups.
+func writeRecoverySnapshot(out, preset string, m *bench.RecoveryMetrics) error {
+	snap := map[string]any{
+		"date":       time.Now().UTC().Format(time.RFC3339),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"recovery_cold": map[string]any{
+			"seconds": m.ColdSeconds,
+			"classes": m.Classes,
+			"workers": m.Workers,
+			"k":       m.K,
+		},
+		"recovery_resumed": map[string]any{
+			"seconds":              m.ResumedSeconds,
+			"classes":              m.Classes,
+			"kill_point":           m.KillPoint,
+			"classes_replayed":     m.Replayed,
+			"classes_redispatched": m.Redispatched,
+			"saved_vs_cold":        m.SavedFraction,
+			"workers":              m.Workers,
+			"k":                    m.K,
+		},
+	}
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	}
+	doc["recovery-"+preset] = snap
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -42,6 +42,8 @@ func main() {
 	k := flag.Int("k", 3, "failure budget")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop collector connections idle this long (0 = never)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent sweep sessions (0 = default 2); saturation answers 429 + Retry-After")
+	maxJobs := flag.Int("max-session-jobs", 0, "per-session queued-job bound for sweeps (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "profile CPU for the server's lifetime, written on shutdown")
 	memprofile := flag.String("memprofile", "", "write a heap profile on shutdown")
 	flag.Parse()
@@ -83,6 +85,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hoyand:", err)
 		os.Exit(1)
 	}
+	if *maxSessions > 0 || *maxJobs > 0 {
+		svc.SetSessionLimits(*maxSessions, *maxJobs)
+	}
 	srv := &http.Server{
 		Addr:              *httpAddr,
 		Handler:           svc.Handler(),
@@ -105,6 +110,11 @@ func main() {
 		defer cancel()
 		if coll != nil {
 			coll.Close()
+		}
+		// Orderly drain: refuse new sweep sessions (503) and let running
+		// ones finish inside the drain window, then stop the listener.
+		if err := svc.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "hoyand: drain timed out with sweeps still running:", err)
 		}
 		srv.Shutdown(ctx)
 	}()

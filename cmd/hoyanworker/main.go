@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,6 +26,8 @@ func main() {
 	dir := flag.String("dir", "", "network directory (topology.txt + *.cfg)")
 	listen := flag.String("listen", ":8090", "listen address")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop coordinator connections idle this long (0 = never)")
+	extraDirs := flag.String("extra-dirs", "", "comma-separated additional network directories to serve (multi-session pools); requests select a model by its hash")
+	maxShared := flag.Int("max-shared", 0, "max resident assembled snapshots, the (model, k) LRU size (0 = default)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "hoyanworker: missing -dir")
@@ -40,9 +43,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hoyanworker:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("worker on %s (%d routers, %d links)\n", ln.Addr(), topoNet.NumNodes(), topoNet.NumLinks())
+	fmt.Printf("worker on %s (%d routers, %d links, model %s)\n",
+		ln.Addr(), topoNet.NumNodes(), topoNet.NumLinks(), dist.ModelHash(topoNet, snap))
 	w := dist.NewWorker(topoNet, snap)
 	w.IdleTimeout = *idle
+	w.MaxShared = *maxShared
+	if *extraDirs != "" {
+		for _, d := range strings.Split(*extraDirs, ",") {
+			xn, xs, err := gen.LoadDir(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hoyanworker: extra dir %s: %v\n", d, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  also serving %s as model %s\n", d, w.AddModel(xn, xs))
+		}
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"hoyan/internal/core"
 	"hoyan/internal/faultnet"
 	"hoyan/internal/gen"
 )
@@ -47,7 +46,7 @@ func startFaultWorker(t *testing.T, w *gen.WAN, cfg faultnet.Config) (addr strin
 func responseBytes(t *testing.T, w *gen.WAN, prefix string, k int) int {
 	t.Helper()
 	wk := NewWorker(w.Net, w.Snap)
-	resp := wk.answer(Request{Prefix: prefix, K: k}, map[int]*core.Simulator{})
+	resp := wk.answer(Request{Prefix: prefix, K: k}, map[sharedKey]*connSim{})
 	if resp.Error != "" {
 		t.Fatalf("answer: %s", resp.Error)
 	}

@@ -42,6 +42,14 @@ import (
 type Request struct {
 	Prefix string `json:"prefix"`
 	K      int    `json:"k"`
+	// Session names the sweep session the request belongs to
+	// (informational: logs and debugging; empty for anonymous runs).
+	Session string `json:"session,omitempty"`
+	// Model selects which of the worker's registered models answers the
+	// request, by ModelHash. Empty selects the worker's default snapshot.
+	// A hash the worker does not hold is a loud per-request error, never
+	// a silent fallback — two sessions over one pool must not cross-talk.
+	Model string `json:"model,omitempty"`
 }
 
 // RouterSummary is one router's verdict for the prefix.
@@ -60,25 +68,69 @@ type Response struct {
 	Error     string          `json:"error,omitempty"`
 }
 
-// Worker serves verification requests for one network snapshot.
-type Worker struct {
+// DefaultMaxShared is the default cap on resident assembled snapshots
+// (core.Shared entries) per worker — the multi-session LRU size.
+const DefaultMaxShared = 4
+
+// modelSource holds one registered (topology, snapshot) pair and its
+// once-assembled model. Sources are never evicted — only the much larger
+// Shared (model + IGP memo) entries are — so a re-admitted session pays
+// re-assembly, not re-registration.
+type modelSource struct {
 	net  *topo.Network
 	snap config.Snapshot
 
+	once  sync.Once
+	model *core.Model
+	err   error
+}
+
+func (ms *modelSource) assemble() (*core.Model, error) {
+	ms.once.Do(func() {
+		ms.model, ms.err = core.Assemble(ms.net, ms.snap, behavior.TrueProfiles())
+	})
+	return ms.model, ms.err
+}
+
+// sharedKey identifies one resident core.Shared: a model (by ModelHash)
+// at one failure budget.
+type sharedKey struct {
+	model string
+	k     int
+}
+
+// sharedEntry is one LRU slot.
+type sharedEntry struct {
+	sh   *core.Shared
+	used int64 // LRU clock tick of the last hit
+}
+
+// Worker serves verification requests for one or more network
+// snapshots. Each snapshot is registered under its ModelHash; requests
+// select one by hash (empty = the default snapshot), so several
+// concurrent sweep sessions — possibly from different coordinators —
+// share one worker pool with no cross-talk. Per (model, k) the worker
+// keeps a core.Shared (immutable model + one-time IGP snapshot) in a
+// small LRU capped at MaxShared entries, so interleaved sessions never
+// pay per-job re-assembly while memory stays bounded.
+type Worker struct {
 	// IdleTimeout bounds the wait for the next request on a coordinator
 	// connection; zero waits forever. Set before Serve.
 	IdleTimeout time.Duration
 
-	// The model is assembled once per worker (not per connection) and
-	// shared: it is read-only after Assemble, and each connection gets
-	// private Simulators. Per failure-budget k the worker also keeps a
-	// core.Shared carrying the one-time IGP snapshot, so simulators on
-	// every connection replay shortest paths instead of recomputing them.
-	modelOnce sync.Once
-	model     *core.Model
-	modelErr  error
-	sharedMu  sync.Mutex
-	shareds   map[int]*core.Shared
+	// MaxShared caps the resident core.Shared entries (the LRU size);
+	// zero means DefaultMaxShared. Set before Serve. Evicting an entry
+	// only drops the worker's reference: simulators already built from it
+	// on open connections keep working (Shared is immutable), and the
+	// next request for that key re-assembles.
+	MaxShared int
+
+	sharedMu    sync.Mutex
+	sources     map[string]*modelSource // by ModelHash; "" aliases default
+	defaultHash string
+	shareds     map[sharedKey]*sharedEntry
+	clock       int64
+	evictions   int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -87,9 +139,42 @@ type Worker struct {
 	wg     sync.WaitGroup
 }
 
-// NewWorker builds a worker over a network.
+// NewWorker builds a worker over a network, registered as the default
+// model (selected by requests with an empty model hash) and under its
+// ModelHash.
 func NewWorker(n *topo.Network, snap config.Snapshot) *Worker {
-	return &Worker{net: n, snap: snap, conns: map[net.Conn]struct{}{}}
+	w := &Worker{
+		conns:   map[net.Conn]struct{}{},
+		sources: map[string]*modelSource{},
+		shareds: map[sharedKey]*sharedEntry{},
+	}
+	src := &modelSource{net: n, snap: snap}
+	w.defaultHash = ModelHash(n, snap)
+	w.sources[""] = src
+	w.sources[w.defaultHash] = src
+	return w
+}
+
+// AddModel registers an additional network snapshot under its ModelHash
+// and returns the hash. Coordinators select it by setting
+// Options.ModelHash. Safe to call before Serve; concurrent registration
+// while serving is also safe.
+func (w *Worker) AddModel(n *topo.Network, snap config.Snapshot) string {
+	h := ModelHash(n, snap)
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	if _, ok := w.sources[h]; !ok {
+		w.sources[h] = &modelSource{net: n, snap: snap}
+	}
+	return h
+}
+
+// Evictions counts Shared entries dropped by the LRU (observability and
+// tests).
+func (w *Worker) Evictions() int {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	return w.evictions
 }
 
 // Serve accepts coordinator connections until Close.
@@ -149,43 +234,71 @@ func (w *Worker) Close() error {
 	return nil
 }
 
-// assemble builds the shared model exactly once; every request observes
-// the same error if assembly fails.
-func (w *Worker) assemble() (*core.Model, error) {
-	w.modelOnce.Do(func() {
-		w.model, w.modelErr = core.Assemble(w.net, w.snap, behavior.TrueProfiles())
-	})
-	return w.model, w.modelErr
-}
-
-// sharedFor returns the worker-wide Shared for failure budget k,
-// building it (and its IGP snapshot) on first use.
-func (w *Worker) sharedFor(k int) (*core.Shared, error) {
-	model, err := w.assemble()
+// sharedFor returns the Shared for (model hash, failure budget k),
+// assembling it on first use and touching its LRU slot. The returned key
+// is normalized (the empty default alias resolves to the default hash)
+// so per-connection simulators keyed by it never alias two models.
+func (w *Worker) sharedFor(model string, k int) (*core.Shared, sharedKey, error) {
+	w.sharedMu.Lock()
+	src := w.sources[model]
+	w.sharedMu.Unlock()
+	if src == nil {
+		return nil, sharedKey{}, fmt.Errorf("dist: worker does not hold model %q (default is %s)", model, w.defaultHash)
+	}
+	m, err := src.assemble()
 	if err != nil {
-		return nil, err
+		return nil, sharedKey{}, err
+	}
+	key := sharedKey{model: model, k: k}
+	if key.model == "" {
+		key.model = w.defaultHash
 	}
 	w.sharedMu.Lock()
 	defer w.sharedMu.Unlock()
-	if w.shareds == nil {
-		w.shareds = map[int]*core.Shared{}
+	w.clock++
+	if e := w.shareds[key]; e != nil {
+		e.used = w.clock
+		return e.sh, key, nil
 	}
-	sh := w.shareds[k]
-	if sh == nil {
-		opts := core.DefaultOptions()
-		opts.K = k
-		sh = core.NewShared(model, opts)
-		w.shareds[k] = sh
+	opts := core.DefaultOptions()
+	opts.K = k
+	sh := core.NewShared(m, opts)
+	w.shareds[key] = &sharedEntry{sh: sh, used: w.clock}
+	max := w.MaxShared
+	if max <= 0 {
+		max = DefaultMaxShared
 	}
-	return sh, nil
+	for len(w.shareds) > max {
+		var oldest sharedKey
+		var oldestUsed int64
+		first := true
+		for k2, e2 := range w.shareds {
+			if first || e2.used < oldestUsed ||
+				(e2.used == oldestUsed && (k2.model < oldest.model || (k2.model == oldest.model && k2.k < oldest.k))) {
+				oldest, oldestUsed, first = k2, e2.used, false
+			}
+		}
+		delete(w.shareds, oldest)
+		w.evictions++
+	}
+	return sh, key, nil
+}
+
+// connSim is one connection's simulator for a sharedKey; it is rebuilt
+// when the key's Shared was evicted and re-assembled (the old Shared
+// stays valid, but a fresh one must get fresh simulators).
+type connSim struct {
+	sh  *core.Shared
+	sim *core.Simulator
 }
 
 // handle processes one coordinator connection: a stream of requests, one
-// simulator per (connection, k) reused across prefixes for IGP warmth.
+// simulator per (connection, model, k) reused across prefixes for IGP
+// warmth.
 func (w *Worker) handle(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
-	sims := map[int]*core.Simulator{}
+	sims := map[sharedKey]*connSim{}
 	for {
 		if w.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(w.IdleTimeout))
@@ -202,31 +315,31 @@ func (w *Worker) handle(conn net.Conn) {
 	}
 }
 
-// answer runs one verification request.
-func (w *Worker) answer(req Request, sims map[int]*core.Simulator) Response {
+// answer runs one verification request against the model it names.
+func (w *Worker) answer(req Request, sims map[sharedKey]*connSim) Response {
 	resp := Response{Prefix: req.Prefix}
 	p, err := netaddr.Parse(req.Prefix)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
-	sh, err := w.sharedFor(req.K)
+	sh, key, err := w.sharedFor(req.Model, req.K)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
 	model := sh.M
-	sim := sims[req.K]
-	if sim == nil {
-		sim = sh.NewSimulator()
-		sims[req.K] = sim
+	cs := sims[key]
+	if cs == nil || cs.sh != sh {
+		cs = &connSim{sh: sh, sim: sh.NewSimulator()}
+		sims[key] = cs
 	}
-	res, err := sim.Run(p)
+	res, err := cs.sim.Run(p)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
-	for _, node := range w.net.Nodes() {
+	for _, node := range model.Net.Nodes() {
 		if model.Configs[node.ID].BGP == nil {
 			continue
 		}
@@ -276,6 +389,12 @@ type Options struct {
 	AllowPartial bool
 	// Seed drives backoff jitter; zero is treated as 1 for determinism.
 	Seed int64
+	// Session names the sweep session on every request (informational).
+	Session string
+	// ModelHash selects which worker-side model answers this
+	// coordinator's requests (see Worker.AddModel); empty selects each
+	// worker's default snapshot.
+	ModelHash string
 }
 
 // DefaultOptions returns the production defaults.
@@ -376,6 +495,13 @@ type Result struct {
 	// Replicated counts member prefixes whose summaries were copied from
 	// their class representative instead of simulated (RunClasses).
 	Replicated int
+	// Resumed counts classes replayed from a session journal without
+	// touching a worker (RunSession on a resumed session).
+	Resumed int
+	// Redispatched counts classes that were in flight — dispatched but
+	// unfinished — at a coordinator crash and were re-queued by
+	// RunSession, the coordinator-death analogue of Requeued.
+	Redispatched int
 }
 
 // events from workers to the scheduler.
@@ -407,12 +533,27 @@ type flight struct {
 	copies int
 }
 
+// runHooks lets a Session observe the scheduler: dispatched fires when a
+// prefix is handed to a worker, done fires with the completed report
+// before the scheduler settles the prefix. A non-nil error from done
+// aborts the run (the crash-injection path): the scheduler stops
+// dispatching, leaves unfinished prefixes unsettled (they are a crash,
+// not a failure), and returns the partial Result with that error.
+type runHooks struct {
+	dispatched func(prefix string)
+	done       func(prefix string, summaries []RouterSummary) error
+}
+
 // Run verifies the prefixes at budget k across the workers with work
 // stealing, re-queueing jobs lost to dead workers and retrying failures
 // under the coordinator's Options. Without AllowPartial any failed prefix
 // is an error (the partial Result is still returned); with AllowPartial
 // the Result carries the completed subset plus Failed/WorkerErrors.
 func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
+	return c.run(prefixes, k, nil)
+}
+
+func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, error) {
 	opts := c.Opts.withDefaults()
 	if len(c.Addrs) == 0 {
 		return nil, fmt.Errorf("dist: no workers")
@@ -466,6 +607,7 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 	remaining := len(uniq)
 	live := len(c.Addrs)
 	lastErr := map[string]string{}
+	var abortErr error // set by a failing done hook; stops the run
 
 	fail := func(p, why string) {
 		settled[p] = true
@@ -496,7 +638,7 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 		return true
 	}
 
-	for remaining > 0 && live > 0 {
+	for remaining > 0 && live > 0 && abortErr == nil {
 		var (
 			send       chan *job
 			next       *job
@@ -530,6 +672,9 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 		select {
 		case send <- next:
 			dispatches[next.prefix]++
+			if hooks != nil && hooks.dispatched != nil && !next.hedge {
+				hooks.dispatched(next.prefix)
+			}
 			if next.hedge {
 				inflight[next.prefix].copies++
 				out.Hedged++
@@ -553,6 +698,16 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 				}
 				if settled[p] {
 					break // a hedge copy already won
+				}
+				if hooks != nil && hooks.done != nil {
+					if err := hooks.done(p, ev.summaries); err != nil {
+						// The journal refused the completion (crash
+						// injection or a write failure): stop without
+						// settling, so the prefix is neither reported
+						// done nor counted failed.
+						abortErr = err
+						break
+					}
 				}
 				settled[p] = true
 				remaining--
@@ -611,6 +766,13 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 	connMu.Unlock()
 	wg.Wait()
 
+	// An aborted run is a crash, not a failure: unsettled prefixes stay
+	// out of Failed — the journal already holds everything needed to
+	// resume them.
+	if abortErr != nil {
+		return out, abortErr
+	}
+
 	// Whatever never settled (the pool died first) is a failure.
 	for _, p := range uniq {
 		if !settled[p] {
@@ -631,16 +793,12 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 		len(out.Failed), len(uniq), f.Prefix, f.Dispatches, f.LastError)
 }
 
-// RunClasses verifies prefix behavior classes: each class is a member
-// list with the representative first (core.Model.Classes provides the
-// partition), only representatives are dispatched to workers, and a
-// representative's summaries are replicated to every member — the
-// RouterSummary carries no prefix, so replication is exact. A
-// representative that permanently fails fails all of its members.
-func (c *Coordinator) RunClasses(classes [][]string, k int) (*Result, error) {
-	reps := make([]string, 0, len(classes))
-	members := map[string][]string{}
-	total := 0
+// classParts splits a class partition into its dispatch order (reps, in
+// input order), the rep -> full member list map, and the total prefix
+// count. Empty classes and duplicate representatives are dropped.
+func classParts(classes [][]string) (reps []string, members map[string][]string, total int) {
+	reps = make([]string, 0, len(classes))
+	members = map[string][]string{}
 	for _, cl := range classes {
 		if len(cl) == 0 {
 			continue
@@ -653,12 +811,18 @@ func (c *Coordinator) RunClasses(classes [][]string, k int) (*Result, error) {
 		members[rep] = cl
 		total += len(cl)
 	}
-	res, runErr := c.Run(reps, k)
-	if res == nil {
-		return nil, runErr
-	}
-	res.Classes = len(reps)
-	for rep, cl := range members {
+	return reps, members, total
+}
+
+// expandClasses replicates per-representative results to class members —
+// the RouterSummary carries no prefix, so replication is exact — and
+// expands representative failures to every member, rewriting the summary
+// error to member counts.
+func expandClasses(res *Result, reps []string, members map[string][]string, runErr error) (*Result, error) {
+	total := 0
+	for _, rep := range reps {
+		cl := members[rep]
+		total += len(cl)
 		if summ, ok := res.ByPrefix[rep]; ok {
 			for _, p := range cl[1:] {
 				res.ByPrefix[p] = summ
@@ -684,6 +848,22 @@ func (c *Coordinator) RunClasses(classes [][]string, k int) (*Result, error) {
 		}
 	}
 	return res, runErr
+}
+
+// RunClasses verifies prefix behavior classes: each class is a member
+// list with the representative first (core.Model.Classes provides the
+// partition), only representatives are dispatched to workers, and a
+// representative's summaries are replicated to every member — the
+// RouterSummary carries no prefix, so replication is exact. A
+// representative that permanently fails fails all of its members.
+func (c *Coordinator) RunClasses(classes [][]string, k int) (*Result, error) {
+	reps, members, _ := classParts(classes)
+	res, runErr := c.Run(reps, k)
+	if res == nil {
+		return nil, runErr
+	}
+	res.Classes = len(reps)
+	return expandClasses(res, reps, members, runErr)
 }
 
 // runWorkerLoop drives one worker address: dial (with backoff), pull
@@ -798,7 +978,7 @@ func doRequest(conn net.Conn, enc *json.Encoder, dec *json.Decoder, j *job, k in
 	if opts.RequestTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(opts.RequestTimeout))
 	}
-	if err := enc.Encode(Request{Prefix: j.prefix, K: k}); err != nil {
+	if err := enc.Encode(Request{Prefix: j.prefix, K: k, Session: opts.Session, Model: opts.ModelHash}); err != nil {
 		return nil, nil, err
 	}
 	var resp Response

@@ -1,0 +1,184 @@
+// Admission control: the service treats every sweep (/v1/resweep) as a
+// session and bounds how many run at once and how much queued work each
+// may carry. Saturation is a 429 with a Retry-After hint — the client's
+// cue to back off, not an error — and a draining service (SIGTERM) is a
+// 503: in-flight sweeps finish and journal, new work is refused.
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSessions is the default cap on concurrently running sweep
+// sessions.
+const DefaultMaxSessions = 2
+
+// errAdmission is a typed admission refusal carrying the HTTP status and
+// Retry-After hint to serve.
+type errAdmission struct {
+	status     int
+	retryAfter int // seconds; 0 omits the header
+	msg        string
+}
+
+func (e *errAdmission) Error() string { return e.msg }
+
+// admission is the session registry: who is sweeping, the limits, and
+// the drain latch.
+type admission struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	maxSessions int
+	maxJobs     int // per-session queued-job bound; 0 = unlimited
+	nextID      int
+	active      map[string]*sessionInfo
+	draining    bool
+}
+
+// sessionInfo describes one admitted sweep session.
+type sessionInfo struct {
+	ID      string    `json:"id"`
+	Jobs    int       `json:"jobs"` // queued classes at admission
+	Started time.Time `json:"started"`
+}
+
+func (a *admission) init() {
+	if a.cond == nil {
+		a.cond = sync.NewCond(&a.mu)
+	}
+	if a.active == nil {
+		a.active = map[string]*sessionInfo{}
+	}
+	if a.maxSessions == 0 {
+		a.maxSessions = DefaultMaxSessions
+	}
+}
+
+// SetSessionLimits bounds concurrent sweep sessions and each session's
+// queued jobs (its class count at admission). maxSessions <= 0 keeps
+// DefaultMaxSessions; maxJobs <= 0 means unlimited.
+func (s *Service) SetSessionLimits(maxSessions, maxJobs int) {
+	s.adm.mu.Lock()
+	defer s.adm.mu.Unlock()
+	s.adm.init()
+	if maxSessions > 0 {
+		s.adm.maxSessions = maxSessions
+	}
+	if maxJobs > 0 {
+		s.adm.maxJobs = maxJobs
+	} else {
+		s.adm.maxJobs = 0
+	}
+}
+
+// admit registers a sweep session with the given queued-job count. It
+// refuses with 503 while draining, 429 when the session table is full,
+// and 429 when jobs exceeds the per-session bound (that one is permanent
+// for this request, so no Retry-After).
+func (a *admission) admit(jobs int) (*sessionInfo, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.init()
+	if a.draining {
+		return nil, &errAdmission{status: http.StatusServiceUnavailable,
+			msg: "service is draining; no new sweeps"}
+	}
+	if a.maxJobs > 0 && jobs > a.maxJobs {
+		return nil, &errAdmission{status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("sweep carries %d queued jobs, above the per-session bound %d", jobs, a.maxJobs)}
+	}
+	if len(a.active) >= a.maxSessions {
+		// The hint is the age of the oldest running session, clamped to
+		// [1s, 60s]: young sessions suggest a short wait, old ones that
+		// the pool is busy for a while.
+		retry := 1
+		for _, si := range a.active {
+			if age := int(time.Since(si.Started).Seconds()); age > retry {
+				retry = age
+			}
+		}
+		if retry > 60 {
+			retry = 60
+		}
+		return nil, &errAdmission{status: http.StatusTooManyRequests, retryAfter: retry,
+			msg: fmt.Sprintf("%d sweep sessions already running (max %d)", len(a.active), a.maxSessions)}
+	}
+	a.nextID++
+	si := &sessionInfo{ID: fmt.Sprintf("sweep-%d", a.nextID), Jobs: jobs, Started: time.Now()}
+	a.active[si.ID] = si
+	return si, nil
+}
+
+// release retires a session and wakes any drain waiter.
+func (a *admission) release(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.active, id)
+	if a.cond != nil {
+		a.cond.Broadcast()
+	}
+}
+
+// Drain stops admitting new sweep sessions and waits for the running
+// ones to finish (they complete and journal normally). It returns early
+// with the context's error if ctx expires first; the service stays
+// draining either way, so a timed-out drain still refuses new work.
+func (s *Service) Drain(ctx context.Context) error {
+	a := &s.adm
+	a.mu.Lock()
+	a.init()
+	a.draining = true
+	a.mu.Unlock()
+
+	// A context watcher wakes the cond wait when the deadline passes.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.active) > 0 && ctx.Err() == nil {
+		//lint:allow locksift sync.Cond.Wait atomically releases a.mu while blocked and reacquires it before returning
+		a.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+// SessionsResponse is the JSON body of GET /v1/sessions.
+type SessionsResponse struct {
+	MaxSessions int           `json:"max_sessions"`
+	MaxJobs     int           `json:"max_jobs,omitempty"`
+	Draining    bool          `json:"draining"`
+	Sessions    []sessionInfo `json:"sessions"`
+}
+
+func (s *Service) handleSessions(w http.ResponseWriter, r *http.Request) {
+	a := &s.adm
+	a.mu.Lock()
+	a.init()
+	resp := SessionsResponse{
+		MaxSessions: a.maxSessions,
+		MaxJobs:     a.maxJobs,
+		Draining:    a.draining,
+		Sessions:    []sessionInfo{},
+	}
+	for _, si := range a.active {
+		resp.Sessions = append(resp.Sessions, *si)
+	}
+	a.mu.Unlock()
+	sort.Slice(resp.Sessions, func(i, j int) bool { return resp.Sessions[i].ID < resp.Sessions[j].ID })
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"hoyan"
@@ -38,6 +39,9 @@ type Service struct {
 	// lastInval summarizes the last resweep's invalidation decisions for
 	// the /v1/classes counters.
 	lastInval *core.InvalidationStats
+	// adm is the sweep-session registry: admission control, per-session
+	// job bounds, and the SIGTERM drain latch (see admission.go).
+	adm admission
 }
 
 // New builds a service with failure budget k (0 = 3).
@@ -81,6 +85,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/equivalence", s.handleEquivalence)
 	mux.HandleFunc("GET /v1/racing", s.handleRacing)
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
 	mux.HandleFunc("POST /v1/resweep", s.handleResweep)
 	return mux
 }
@@ -343,6 +348,8 @@ type ViolationBody struct {
 
 // ResweepResponse is the JSON body of POST /v1/resweep.
 type ResweepResponse struct {
+	// Session is the admitted sweep-session id (see GET /v1/sessions).
+	Session string `json:"session"`
 	// Incremental reports whether a baseline from a previous resweep was
 	// diffed against (the first resweep is always a cold, seeding sweep).
 	Incremental bool `json:"incremental"`
@@ -361,17 +368,36 @@ type ResweepResponse struct {
 // handleResweep applies the request's config updates (if any), sweeps
 // the whole network incrementally against the baseline captured by the
 // previous resweep, commits the updated snapshot, and holds the new
-// baseline for the next call.
+// baseline for the next call. Every resweep runs as an admitted session:
+// saturation is a 429 + Retry-After, a draining service a 503, and the
+// sweep itself runs without s.mu so admitted sessions truly overlap
+// (queries stay served throughout; commit is last-writer-wins).
 func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 	var req ResweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		badRequest(w, "bad body: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
+	// Capture the served state under a brief lock; the class count is the
+	// session's queued-job size for admission.
+	s.mu.Lock()
 	snap := s.snap
+	baseline := s.baseline
+	jobs := len(s.model.Classes())
+	s.mu.Unlock()
+
+	si, err := s.adm.admit(jobs)
+	if err != nil {
+		ae := err.(*errAdmission)
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		}
+		writeJSON(w, ae.status, errorBody{Error: ae.msg})
+		return
+	}
+	defer s.adm.release(si.ID)
+
 	if len(req.Updates) > 0 {
 		ups := make([]config.Update, 0, len(req.Updates))
 		for _, u := range req.Updates {
@@ -387,7 +413,7 @@ func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 
 	opts := hoyan.Options{
 		K:             s.k,
-		Baseline:      s.baseline,
+		Baseline:      baseline,
 		NoIncremental: req.NoIncremental,
 		AuditSample:   req.AuditSample,
 	}
@@ -399,9 +425,11 @@ func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 
 	// Commit: the swept snapshot becomes the served one (queries now see
 	// the updated configs) and the fresh store the next baseline.
+	s.mu.Lock()
 	if len(req.Updates) > 0 {
 		m, err := core.Assemble(s.net, snap, behavior.TrueProfiles())
 		if err != nil {
+			s.mu.Unlock()
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 			return
 		}
@@ -412,11 +440,13 @@ func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 		s.sim = core.NewSimulator(m, copts)
 		s.cache = map[netaddr.Prefix]*core.Result{}
 	}
-	incremental := s.baseline != nil && !req.NoIncremental
+	incremental := baseline != nil && !req.NoIncremental
 	s.baseline = store
 	s.lastInval = rep.Invalidation
+	s.mu.Unlock()
 
 	resp := ResweepResponse{
+		Session:     si.ID,
 		Incremental: incremental,
 		Prefixes:    len(rep.Prefixes),
 		Classes:     rep.Classes,

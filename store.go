@@ -2,6 +2,7 @@ package hoyan
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -69,7 +70,49 @@ type ResultStore struct {
 	Links   []StoredLink      `json:"links"`
 	Configs map[string]string `json:"configs"`
 	Classes []ClassRecord     `json:"classes"`
+	// Quarantined holds class records LoadResultStore pulled out of
+	// Classes because they failed validation; the rest of the store stays
+	// usable (those classes just re-simulate). Never persisted.
+	Quarantined []QuarantinedRecord `json:"-"`
 }
+
+// QuarantinedRecord is one invalid class record LoadResultStore refused
+// to replay, with the reason.
+type QuarantinedRecord struct {
+	Index  int // position in the stored classes array
+	Reason string
+	Record ClassRecord
+}
+
+// CorruptStoreError reports a result store that failed to load cleanly.
+// It always names the file; Usable distinguishes a store that can still
+// serve as a (partial) baseline — bad records quarantined, the rest
+// intact — from one that cannot be trusted at all (truncated or
+// syntactically corrupt JSON).
+type CorruptStoreError struct {
+	Path string
+	// Offset is the byte offset of the JSON syntax error (0 when the
+	// damage has no position, e.g. a truncated file).
+	Offset int64
+	// Usable reports whether the returned store is still safe to use as
+	// a partial baseline.
+	Usable bool
+	// Quarantined counts records pulled out of the store (Usable case).
+	Quarantined int
+	Err         error
+}
+
+func (e *CorruptStoreError) Error() string {
+	if e.Usable {
+		return fmt.Sprintf("hoyan: result store %s: %d invalid class record(s) quarantined (%v); the rest of the store is usable — quarantined classes re-simulate", e.Path, e.Quarantined, e.Err)
+	}
+	if e.Offset > 0 {
+		return fmt.Sprintf("hoyan: result store %s is corrupt at byte %d (%v); the store is NOT usable — quarantine it (QuarantineResultStore) and sweep cold", e.Path, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("hoyan: result store %s is corrupt (%v); the store is NOT usable — quarantine it (QuarantineResultStore) and sweep cold", e.Path, e.Err)
+}
+
+func (e *CorruptStoreError) Unwrap() error { return e.Err }
 
 // Save writes the store as JSON.
 func (st *ResultStore) Save(path string) error {
@@ -80,7 +123,14 @@ func (st *ResultStore) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadResultStore reads a store written by Save.
+// LoadResultStore reads a store written by Save. Damage is reported
+// loudly but gracefully: truncated or syntactically corrupt JSON returns
+// a *CorruptStoreError (Usable=false, with the file name and byte
+// offset) and no store; a store that decodes but carries invalid class
+// records returns the store with those records moved to Quarantined plus
+// a *CorruptStoreError (Usable=true) — callers may keep the partial
+// baseline (quarantined classes simply re-simulate) or treat it as
+// fatal.
 func LoadResultStore(path string) (*ResultStore, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -88,9 +138,76 @@ func LoadResultStore(path string) (*ResultStore, error) {
 	}
 	st := &ResultStore{}
 	if err := json.Unmarshal(data, st); err != nil {
-		return nil, fmt.Errorf("hoyan: decoding result store %s: %w", path, err)
+		ce := &CorruptStoreError{Path: path, Err: err}
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			ce.Offset = syn.Offset
+		case errors.As(err, &typ):
+			ce.Offset = typ.Offset
+		}
+		return nil, ce
+	}
+	// Validate record by record; a damaged entry is quarantined, not
+	// replayed (replaying a half-written record would report stale or
+	// nonsensical results as verified).
+	kept := st.Classes[:0]
+	for i, rec := range st.Classes {
+		if why := validateRecord(&rec); why != "" {
+			st.Quarantined = append(st.Quarantined, QuarantinedRecord{Index: i, Reason: why, Record: rec})
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	st.Classes = kept
+	if n := len(st.Quarantined); n > 0 {
+		return st, &CorruptStoreError{
+			Path: path, Usable: true, Quarantined: n,
+			Err: fmt.Errorf("first: class %d: %s", st.Quarantined[0].Index, st.Quarantined[0].Reason),
+		}
 	}
 	return st, nil
+}
+
+// validateRecord checks the invariants replay depends on; it returns a
+// reason string for an unusable record, "" for a good one.
+func validateRecord(rec *ClassRecord) string {
+	if len(rec.Members) == 0 {
+		return "no members"
+	}
+	for _, m := range rec.Members {
+		if m == "" {
+			return "empty member prefix"
+		}
+	}
+	if rec.Summary.Prefix == "" {
+		return "summary names no representative prefix"
+	}
+	for _, v := range rec.Violations {
+		if v.Router == "" {
+			return "violation names no router"
+		}
+	}
+	return ""
+}
+
+// QuarantineResultStore moves a corrupt store out of the way (to
+// path+".corrupt", or a numbered variant when that exists) so the next
+// sweep starts cold instead of tripping over it again. It returns the
+// quarantine path.
+func QuarantineResultStore(path string) (string, error) {
+	dst := path + ".corrupt"
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s.corrupt.%d", path, i)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("hoyan: quarantining result store: %w", err)
+	}
+	return dst, nil
 }
 
 // optionsHash fingerprints the report-affecting options. Custom profile

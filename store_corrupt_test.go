@@ -1,0 +1,129 @@
+package hoyan
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeStore(t *testing.T, path string) *ResultStore {
+	t.Helper()
+	st := &ResultStore{
+		OptionsHash: "k=3;prune=true;simplify=true;profiles=tuned",
+		K:           3,
+		Configs:     map[string]string{"A": "hostname A\n"},
+		Classes: []ClassRecord{
+			{
+				Members:      []string{"10.0.0.0/24"},
+				Summary:      PrefixSummary{Prefix: "10.0.0.0/24", MinFailures: -1},
+				TaintDevices: []string{"A"},
+			},
+			{
+				Members:      []string{"10.1.0.0/24", "10.1.1.0/24"},
+				Summary:      PrefixSummary{Prefix: "10.1.0.0/24", MinFailures: 2, WeakestRouter: "A"},
+				TaintDevices: []string{"A"},
+			},
+		},
+	}
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestLoadResultStoreTruncatedIsLoud(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	writeStore(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadResultStore(path)
+	if st != nil {
+		t.Fatal("a truncated store must not be returned as usable")
+	}
+	var ce *CorruptStoreError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptStoreError, got %T: %v", err, err)
+	}
+	if ce.Usable {
+		t.Fatal("truncated JSON is not a usable store")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("the error must name the file: %v", err)
+	}
+	if !strings.Contains(err.Error(), "NOT usable") {
+		t.Fatalf("the error must say whether the store is usable: %v", err)
+	}
+}
+
+func TestLoadResultStoreQuarantinesBadRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	st := writeStore(t, path)
+	st.Classes[1].Members = nil // damage one record, keep the other
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadResultStore(path)
+	var ce *CorruptStoreError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptStoreError, got %T: %v", err, err)
+	}
+	if !ce.Usable {
+		t.Fatal("one bad record must not poison the whole store")
+	}
+	if loaded == nil || len(loaded.Classes) != 1 || len(loaded.Quarantined) != 1 {
+		t.Fatalf("want 1 kept + 1 quarantined, got %+v", loaded)
+	}
+	if loaded.Quarantined[0].Index != 1 || loaded.Quarantined[0].Reason == "" {
+		t.Fatalf("quarantine must name the record and the reason: %+v", loaded.Quarantined[0])
+	}
+	if !strings.Contains(err.Error(), "usable") {
+		t.Fatalf("the error must say the store is partially usable: %v", err)
+	}
+
+	// A pristine store loads silently.
+	clean := filepath.Join(t.TempDir(), "clean.json")
+	writeStore(t, clean)
+	if _, err := LoadResultStore(clean); err != nil {
+		t.Fatalf("clean store: %v", err)
+	}
+}
+
+func TestQuarantineResultStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	writeStore(t, path)
+
+	q1, err := QuarantineResultStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != path+".corrupt" {
+		t.Fatalf("quarantine path %q", q1)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("the original must be moved away")
+	}
+
+	// A second quarantine of the same path picks a numbered variant
+	// instead of clobbering the first.
+	writeStore(t, path)
+	q2, err := QuarantineResultStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 == q1 {
+		t.Fatal("second quarantine must not overwrite the first")
+	}
+	if _, err := os.Stat(q1); err != nil {
+		t.Fatalf("first quarantine clobbered: %v", err)
+	}
+}
