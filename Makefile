@@ -56,6 +56,7 @@ chaos:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPortableDecode -fuzztime=10s ./internal/logic/
 	$(GO) test -run='^$$' -fuzz=FuzzCollectorLine -fuzztime=10s ./internal/collector/
+	$(GO) test -run='^$$' -fuzz=FuzzCompiledEval -fuzztime=10s ./internal/qc/
 
 # check is the CI gate: vet + hoyanlint, then the full suite under the
 # race detector and the benchmark smoke. The dist/collector chaos tests

@@ -32,12 +32,21 @@ go run ./cmd/hoyanbench -exp recovery -rec-preset small -rec-iters 1 -rec-out=
 # then fail `go test` forever after, so a crash found here stays fixed.
 go test -run='^$' -fuzz=FuzzPortableDecode -fuzztime=10s ./internal/logic/
 go test -run='^$' -fuzz=FuzzCollectorLine -fuzztime=10s ./internal/collector/
+go test -run='^$' -fuzz=FuzzCompiledEval -fuzztime=10s ./internal/qc/
 # Benchmark smoke: one iteration of every benchmark keeps the evaluation
 # harness honest without turning CI into a timing run. The incremental
-# experiment smokes on the medium preset without writing a snapshot.
+# and query experiments smoke on small/medium presets without writing a
+# snapshot; real BENCH numbers come from the full presets.
 go test -bench=. -benchtime=1x -run='^$' .
 go run ./cmd/hoyanbench -exp incremental -incr-preset medium -incr-iters 1 -incr-out=
-# Perf trajectory: diff the latest two BENCH_*.json snapshots. Advisory
-# only — snapshot timings come from the machine that recorded them, so a
-# delta here informs rather than gates.
-go run ./cmd/benchcompare || echo "benchcompare: advisory, ignoring failure"
+go run ./cmd/hoyanbench -exp query -query-preset small -query-clients 4 -query-duration 2s -query-out=
+# Perf trajectory: diff the latest two BENCH_*.json snapshots and judge
+# directional metrics against a 25% regression threshold. Advisory by
+# default — snapshot timings come from the machine that recorded them, so
+# a delta here informs rather than gates — but BENCH_STRICT=1 makes a
+# threshold breach fatal for runs on a stable benchmarking host.
+if [ "${BENCH_STRICT:-0}" = "1" ]; then
+	go run ./cmd/benchcompare -fail-over 25
+else
+	go run ./cmd/benchcompare -fail-over 25 || echo "benchcompare: advisory, ignoring failure"
+fi

@@ -25,6 +25,8 @@ import (
 
 func main() {
 	dir := flag.String("dir", ".", "directory to scan for BENCH_*.json when no files are given")
+	failOver := flag.Float64("fail-over", 0,
+		"exit nonzero when a directional metric regresses by more than this percent (0 = report only)")
 	flag.Parse()
 
 	var err error
@@ -34,13 +36,61 @@ func main() {
 	case 2:
 		err = compareFiles(flag.Arg(0), flag.Arg(1))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchcompare [old.json new.json]")
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-fail-over PCT] [old.json new.json]")
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(1)
 	}
+	if *failOver > 0 {
+		bad := false
+		for _, r := range regressions {
+			if r.pct > *failOver {
+				bad = true
+				fmt.Fprintf(os.Stderr, "benchcompare: %s.%s regressed %.1f%% (threshold %.1f%%)\n",
+					r.group, r.metric, r.pct, *failOver)
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
+}
+
+// regression is one directional metric that moved the wrong way; pct is
+// the magnitude of the move (always positive).
+type regression struct {
+	group, metric string
+	pct           float64
+}
+
+// regressions accumulates across every diff the invocation prints; main
+// judges them against -fail-over at the end.
+var regressions []regression
+
+// direction classifies a metric by name: -1 lower-is-better (timings,
+// latencies, error counts), +1 higher-is-better (throughput, speedups),
+// 0 neutral (counts and configuration echoes are reported but never
+// judged).
+func direction(metric string) int {
+	switch {
+	case strings.Contains(metric, "qps"),
+		strings.Contains(metric, "per_sec"),
+		strings.HasPrefix(metric, "speedup"),
+		strings.HasPrefix(metric, "saved"):
+		return +1
+	case strings.Contains(metric, "seconds"),
+		strings.Contains(metric, "_per_op"),
+		strings.HasSuffix(metric, "_ms"),
+		strings.HasSuffix(metric, "_us"),
+		strings.HasSuffix(metric, "_ns"),
+		strings.HasPrefix(metric, "p50"),
+		strings.HasPrefix(metric, "p99"),
+		metric == "errors":
+		return -1
+	}
+	return 0
 }
 
 // compareLatest picks the latest two snapshot files by name (BENCH_PR2 <
@@ -197,7 +247,15 @@ func diffSnapshots(old, new map[string]any) string {
 			case oldNum && newNum && ov == nv:
 				fmt.Fprintf(&b, "    %-14s %v (unchanged)\n", metric, trim(nv))
 			case oldNum && newNum && ov != 0:
-				fmt.Fprintf(&b, "    %-14s %v -> %v (%+.1f%%)\n", metric, trim(ov), trim(nv), 100*(nv-ov)/ov)
+				pct := 100 * (nv - ov) / ov
+				mark := ""
+				if d := direction(metric); d != 0 && float64(d)*pct < 0 {
+					// The metric moved against its direction; record the
+					// magnitude for -fail-over and flag it in the listing.
+					regressions = append(regressions, regression{group, metric, -float64(d) * pct})
+					mark = "  <- regressed"
+				}
+				fmt.Fprintf(&b, "    %-14s %v -> %v (%+.1f%%)%s\n", metric, trim(ov), trim(nv), pct, mark)
 			case oldNum && newNum:
 				fmt.Fprintf(&b, "    %-14s %v -> %v\n", metric, trim(ov), trim(nv))
 			case oldNum:

@@ -48,6 +48,62 @@ func TestDiffSnapshots(t *testing.T) {
 	}
 }
 
+func TestDirection(t *testing.T) {
+	cases := map[string]int{
+		// Lower is better: timings, latencies, error counts.
+		"seconds": -1, "sweep_seconds": -1, "ns_per_op": -1, "allocs_per_op": -1,
+		"compile_ms": -1, "p50_us": -1, "p99_us": -1, "errors": -1,
+		// Higher is better: throughput and speedups.
+		"queries_per_sec": +1, "qps": +1, "speedup_vs_cold": +1, "saved_seconds_hot": +1,
+		// Neutral: counts and configuration echoes are never judged.
+		"classes": 0, "prefixes": 0, "workers": 0, "clients": 0, "instrs": 0,
+	}
+	for metric, want := range cases {
+		if got := direction(metric); got != want {
+			t.Errorf("direction(%q) = %d, want %d", metric, got, want)
+		}
+	}
+}
+
+func TestRegressionCollection(t *testing.T) {
+	regressions = nil
+	old := snap(map[string]map[string]float64{
+		"query_load": {"queries_per_sec": 10000, "p99_us": 100, "clients": 8},
+		"query_eval": {"ns_per_op": 500},
+	})
+	new := snap(map[string]map[string]float64{
+		"query_load": {"queries_per_sec": 8000, "p99_us": 150, "clients": 16},
+		"query_eval": {"ns_per_op": 400},
+	})
+	got := diffSnapshots(old, new)
+	// qps fell 20%, p99 rose 50%: both regressions. ns_per_op improved and
+	// clients is a neutral config echo: neither is recorded.
+	want := map[string]float64{"queries_per_sec": 20, "p99_us": 50}
+	if len(regressions) != len(want) {
+		t.Fatalf("got %d regressions %+v, want %d", len(regressions), regressions, len(want))
+	}
+	for _, r := range regressions {
+		pct, ok := want[r.metric]
+		if !ok {
+			t.Errorf("unexpected regression recorded for %s.%s", r.group, r.metric)
+			continue
+		}
+		if r.pct < pct-0.01 || r.pct > pct+0.01 {
+			t.Errorf("%s regression pct = %.2f, want %.2f", r.metric, r.pct, pct)
+		}
+		if r.group != "query_load" {
+			t.Errorf("%s regression group = %q", r.metric, r.group)
+		}
+	}
+	if !strings.Contains(got, "queries_per_sec 10000 -> 8000 (-20.0%)  <- regressed") {
+		t.Errorf("regressed line not marked:\n%s", got)
+	}
+	if strings.Contains(got, "ns_per_op      500 -> 400 (-20.0%)  <- regressed") {
+		t.Errorf("improvement wrongly marked:\n%s", got)
+	}
+	regressions = nil
+}
+
 func TestLabelPair(t *testing.T) {
 	doc := map[string]any{
 		"_methodology": map[string]any{"machine": "x"},

@@ -6,8 +6,11 @@
 //	hoyand -dir /path/to/wan -http :8080 [-collector :8081] [-k 3]
 //
 // Endpoints: GET /v1/routers /v1/prefixes /v1/route /v1/packet
-// /v1/equivalence /v1/racing /v1/classes, POST /v1/resweep (incremental
-// whole-network re-verification) — see internal/httpapi.
+// /v1/equivalence /v1/racing /v1/classes /v1/query /v1/snapshots,
+// POST /v1/resweep (incremental whole-network re-verification),
+// POST /v1/snapshots[/activate] (query-plane snapshot registry) — see
+// internal/httpapi. -store publishes a saved sweep's results to the
+// query plane at boot so /v1/query answers without a warm-up sweep.
 //
 // Both planes shut down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests get a drain window and collector connections are unblocked.
@@ -28,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"hoyan"
 	"hoyan/internal/collector"
 	"hoyan/internal/core"
 	"hoyan/internal/device"
@@ -44,6 +48,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sweep sessions (0 = default 2); saturation answers 429 + Retry-After")
 	maxJobs := flag.Int("max-session-jobs", 0, "per-session queued-job bound for sweeps (0 = unlimited)")
+	storePath := flag.String("store", "", "result store to compile and publish to the query plane at boot (/v1/query serves immediately)")
 	cpuprofile := flag.String("cpuprofile", "", "profile CPU for the server's lifetime, written on shutdown")
 	memprofile := flag.String("memprofile", "", "write a heap profile on shutdown")
 	flag.Parse()
@@ -87,6 +92,23 @@ func main() {
 	}
 	if *maxSessions > 0 || *maxJobs > 0 {
 		svc.SetSessionLimits(*maxSessions, *maxJobs)
+	}
+	if *storePath != "" {
+		st, err := hoyan.LoadResultStore(*storePath)
+		if err != nil {
+			var ce *hoyan.CorruptStoreError
+			if !(errors.As(err, &ce) && ce.Usable) {
+				fmt.Fprintln(os.Stderr, "hoyand:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "hoyand: %v (quarantined classes dropped from the snapshot)\n", err)
+		}
+		id, err := svc.PublishStore(st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hoyand: compiling store:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("query plane serving snapshot %s from %s\n", id, *storePath)
 	}
 	srv := &http.Server{
 		Addr:              *httpAddr,

@@ -42,6 +42,9 @@ type Service struct {
 	// adm is the sweep-session registry: admission control, per-session
 	// job bounds, and the SIGTERM drain latch (see admission.go).
 	adm admission
+	// query is the compiled-snapshot registry serving /v1/query and
+	// /v1/snapshots without simulation or locks (see query.go).
+	query *queryPlane
 }
 
 // New builds a service with failure budget k (0 = 3).
@@ -60,6 +63,7 @@ func New(net *topo.Network, snap config.Snapshot, k int) (*Service, error) {
 		sim:   core.NewSimulator(m, opts),
 		k:     k,
 		cache: map[netaddr.Prefix]*core.Result{},
+		query: newQueryPlane(),
 	}, nil
 }
 
@@ -75,7 +79,14 @@ func New(net *topo.Network, snap config.Snapshot, k int) (*Service, error) {
 //	POST /v1/resweep                     whole-network sweep, incremental
 //	                                     against the previous resweep's
 //	                                     baseline (optional config updates
-//	                                     in the body)
+//	                                     in the body); auto-publishes the
+//	                                     committed store to the query plane
+//	GET  /v1/query                       compiled-snapshot answers (reach,
+//	                                     minfail, impact) — never simulates
+//	GET  /v1/snapshots                   compiled-snapshot registry
+//	POST /v1/snapshots                   publish a store (disk path or the
+//	                                     held baseline)
+//	POST /v1/snapshots/activate          atomic switch by snapshot id
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/routers", s.handleRouters)
@@ -87,6 +98,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
 	mux.HandleFunc("POST /v1/resweep", s.handleResweep)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshotList)
+	mux.HandleFunc("POST /v1/snapshots", s.handleSnapshotPublish)
+	mux.HandleFunc("POST /v1/snapshots/activate", s.handleSnapshotActivate)
 	return mux
 }
 
@@ -363,6 +378,12 @@ type ResweepResponse struct {
 	// Delta lists the model changes the sweep acted on, one line each.
 	Delta        []string          `json:"delta,omitempty"`
 	Invalidation *InvalidationBody `json:"invalidation,omitempty"`
+	// Snapshot is the query-plane snapshot id this sweep's store was
+	// published under; SnapshotError carries the compile failure when
+	// publication was impossible (e.g. a replayed class predating the
+	// query plane), which degrades /v1/query, not the sweep itself.
+	Snapshot      string `json:"snapshot,omitempty"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
 }
 
 // handleResweep applies the request's config updates (if any), sweeps
@@ -445,6 +466,16 @@ func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 	s.lastInval = rep.Invalidation
 	s.mu.Unlock()
 
+	// Auto-publish the committed store so /v1/query serves the state this
+	// sweep just verified. Best-effort: a store that cannot compile only
+	// degrades the query plane (the previous snapshot keeps serving).
+	var snapID, snapErr string
+	if e, err := s.query.publish(store, true); err != nil {
+		snapErr = err.Error()
+	} else {
+		snapID = e.id
+	}
+
 	resp := ResweepResponse{
 		Session:     si.ID,
 		Incremental: incremental,
@@ -452,7 +483,9 @@ func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 		Classes:     rep.Classes,
 		Replayed:    rep.Replayed,
 		DurationMS:  rep.Duration.Milliseconds(),
+		Snapshot:    snapID,
 	}
+	resp.SnapshotError = snapErr
 	for _, v := range rep.Violations {
 		resp.Violations = append(resp.Violations, ViolationBody{
 			Kind: v.Kind, Prefix: v.Prefix, Router: v.Router, Details: v.Details,

@@ -23,6 +23,7 @@ func FuzzPortableDecode(f *testing.F) {
 	f.Add([]byte(`{"n":[[1,7,0,0],[2,0,2,0]],"r":[3]}`))
 	f.Add([]byte(`{"n":[[0,0,0,0]],"r":[5]}`))
 	f.Add([]byte(`{"n":[[3,0,9,9]],"r":[2]}`))
+	f.Add([]byte(`{"n":[[1,-1,0,0]],"r":[2]}`))
 	f.Add([]byte(`not json`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -70,6 +70,31 @@ func (p *Portable) NumRoots() int { return len(p.roots) }
 // NumNodes reports the size of the stored DAG including the constants.
 func (p *Portable) NumNodes() int { return len(p.nodes) }
 
+// Root returns the node index of the i-th exported root.
+func (p *Portable) Root(i int) int { return int(p.roots[i]) }
+
+// NodeShape describes stored node i for external compilers (the query
+// compiler in internal/qc evaluates snapshots without rebuilding them in
+// a Factory). Unlike Factory.Shape, the returned Shape's A and B are
+// indices into the Portable's own node array (0 = False, 1 = True), not
+// factory references; nodes are stored in dependency order, so children
+// always precede their parents.
+func (p *Portable) NodeShape(i int) Shape {
+	n := p.nodes[i]
+	switch n.k {
+	case kConst:
+		return Shape{Kind: WalkConst, Value: i == int(True)}
+	case kVar:
+		return Shape{Kind: WalkVar, Variable: n.v}
+	case kNot:
+		return Shape{Kind: WalkNot, A: F(n.a)}
+	case kAnd:
+		return Shape{Kind: WalkAnd, A: F(n.a), B: F(n.b)}
+	default:
+		return Shape{Kind: WalkOr, A: F(n.a), B: F(n.b)}
+	}
+}
+
 // Import rebuilds the snapshot inside f and returns one F per exported
 // root, in Export order. Reconstruction goes through the ordinary
 // constructors, so hash-consing and the local simplifications apply:
@@ -134,6 +159,11 @@ func (p *Portable) UnmarshalJSON(data []byte) error {
 		child := func(c int32) bool { return c >= 0 && c < self }
 		switch n.k {
 		case kVar:
+			// A negative variable would index Factory.Var's cache out of
+			// bounds on Import; no encoder ever writes one.
+			if n.v < 0 {
+				return fmt.Errorf("logic: portable node %d: bad variable %d", self, n.v)
+			}
 			n.a, n.b = 0, 0
 		case kNot:
 			if !child(n.a) {

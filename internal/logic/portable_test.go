@@ -148,6 +148,57 @@ func TestPortableImportIdempotent(t *testing.T) {
 	}
 }
 
+// TestPortableNodeShape pins the compiler-facing metadata: nodes come in
+// dependency order, NodeShape's child references index the portable's own
+// array, and re-evaluating the snapshot through NodeShape alone (no
+// factory) reproduces the formula's function.
+func TestPortableNodeShape(t *testing.T) {
+	src := NewFactory()
+	x := buildDeep(src, 6)
+	p := src.Export(x)
+
+	eval := func(asn Assignment) bool {
+		vals := make([]bool, p.NumNodes())
+		for i := 0; i < p.NumNodes(); i++ {
+			s := p.NodeShape(i)
+			switch s.Kind {
+			case WalkConst:
+				vals[i] = s.Value
+			case WalkVar:
+				v, ok := asn[s.Variable]
+				vals[i] = v || !ok
+			case WalkNot:
+				if int(s.A) >= i {
+					t.Fatalf("node %d references child %d at or after itself", i, s.A)
+				}
+				vals[i] = !vals[s.A]
+			case WalkAnd:
+				vals[i] = vals[s.A] && vals[s.B]
+			case WalkOr:
+				vals[i] = vals[s.A] || vals[s.B]
+			}
+		}
+		return vals[p.Root(0)]
+	}
+	for _, asn := range assignments(6) {
+		if got, want := eval(asn), src.Eval(x, asn); got != want {
+			t.Fatalf("NodeShape evaluation = %v, factory Eval = %v under %v", got, want, asn)
+		}
+	}
+}
+
+// TestPortableRejectsNegativeVar: a decoded snapshot carrying a negative
+// variable id must be refused — Factory.Var indexes its cache by the
+// variable, so importing one would panic (found by extending the decode
+// fuzzer's seed corpus).
+func TestPortableRejectsNegativeVar(t *testing.T) {
+	var p Portable
+	err := p.UnmarshalJSON([]byte(`{"n":[[1,-1,0,0]],"r":[2]}`))
+	if err == nil {
+		t.Fatal("negative variable id accepted; Import would index out of bounds")
+	}
+}
+
 func TestCanonicalKeyStableAcrossFactories(t *testing.T) {
 	f1, f2 := NewFactory(), NewFactory()
 	// Interleave unrelated garbage into f2 so its F ids diverge from f1's

@@ -1,0 +1,285 @@
+// Package qc is the query compiler: it turns the logic.Portable
+// condition DAGs a ResultStore persists into flat, cache-friendly
+// programs a serving process can evaluate in a few hundred nanoseconds,
+// with zero allocation per query.
+//
+// The sweep pipeline answers "is this route present under failure set F"
+// by simulating; the query plane answers it by *evaluating* the stored
+// topology condition — one amortized sweep serving unbounded cheap
+// queries (DESIGN.md, "Query plane"). Compilation happens once per
+// published snapshot: each Portable root becomes a Program whose
+// instructions are the reachable sub-DAG in dependency order, renumbered
+// densely, so evaluation is a single forward pass over a contiguous
+// array with no pointers, no interning, and no per-query allocation.
+// Store compilation additionally attaches each condition's reduced
+// ordered BDD (logic.ExportBDD): evaluation then walks one
+// root-to-terminal decision path, costing the variables on the path
+// rather than the size of the condition.
+//
+// The stored conditions were computed under the sweep's failure budget K
+// (routes whose conditions require more than K failures are pruned, §5.6
+// of the paper), so evaluation is exact for failure sets of at most K
+// links; callers must reject larger sets.
+package qc
+
+import (
+	"fmt"
+	"sort"
+
+	"hoyan/internal/logic"
+)
+
+// Opcodes of a compiled program. Operand slots a and b reference earlier
+// instructions; opVar's v is the link-aliveness variable (logic.Var of
+// the baseline topology's LinkID).
+const (
+	opFalse uint8 = iota
+	opTrue
+	opVar
+	opNot
+	opAnd
+	opOr
+)
+
+// instr is one flat program step. 16 bytes, no pointers: the whole
+// program of a typical class condition fits in a few cache lines.
+type instr struct {
+	op   uint8
+	v    logic.Var // opVar only
+	a, b int32     // operand instruction indices
+}
+
+// Program is one compiled condition: the reachable DAG of a single
+// Portable root in dependency order. The last instruction is the root.
+// Programs are immutable after Compile and safe for concurrent Eval with
+// distinct Scratch values.
+//
+// A program optionally carries the condition's reduced ordered BDD
+// (attachDecisions), in which case Eval walks one root-to-terminal
+// decision path — O(variables on the path) — instead of the whole
+// instruction array. The instruction form is always present: it is the
+// factory-independent fallback and the differential-fuzz reference.
+type Program struct {
+	ins  []instr
+	vars []logic.Var // sorted distinct variables the condition mentions
+
+	dd     []ddNode
+	ddRoot int32 // -1 no decision form; 0/1 constant; >=2 dd[ddRoot-2]
+}
+
+// ddNode is one decision step: test v, go lo when the link is failed,
+// hi when it is up. 16 bytes, no pointers, children before parents —
+// the numbering logic.ExportBDD emits.
+type ddNode struct {
+	v      logic.Var
+	lo, hi int32
+}
+
+// attachDecisions equips the program with its condition's exported BDD.
+func (p *Program) attachDecisions(nodes []logic.BDDNode, root int32) {
+	p.dd = make([]ddNode, len(nodes))
+	for i, n := range nodes {
+		p.dd[i] = ddNode{v: n.V, lo: n.Lo, hi: n.Hi}
+	}
+	p.ddRoot = root
+}
+
+// NumInstrs reports the program length (scratch sizing, stats).
+func (p *Program) NumInstrs() int { return len(p.ins) }
+
+// NumDecisions reports the size of the attached decision diagram (0 when
+// only the instruction form is present).
+func (p *Program) NumDecisions() int { return len(p.dd) }
+
+// Vars returns the sorted distinct variables the condition mentions —
+// the reverse-index feed: a link's death can only affect conditions that
+// mention its variable.
+func (p *Program) Vars() []logic.Var { return p.vars }
+
+// MaxVar returns the largest variable mentioned, or -1 for a constant
+// condition.
+func (p *Program) MaxVar() logic.Var {
+	if len(p.vars) == 0 {
+		return -1
+	}
+	return p.vars[len(p.vars)-1]
+}
+
+// FailureSet is a bitset of failed links indexed by logic.Var. The zero
+// value is the all-links-up scenario; Reset recycles it without
+// reallocating.
+type FailureSet struct {
+	bits []uint64
+	n    int
+}
+
+// NewFailureSet returns a set sized for variables 0..maxVar.
+func NewFailureSet(maxVar logic.Var) *FailureSet {
+	return &FailureSet{bits: make([]uint64, int(maxVar)/64+1)}
+}
+
+// Reset clears the set for reuse.
+func (fs *FailureSet) Reset() {
+	for i := range fs.bits {
+		fs.bits[i] = 0
+	}
+	fs.n = 0
+}
+
+// Add marks a link failed, growing the bitset if needed.
+func (fs *FailureSet) Add(v logic.Var) {
+	if v < 0 {
+		return
+	}
+	w := int(v) >> 6
+	for w >= len(fs.bits) {
+		fs.bits = append(fs.bits, 0)
+	}
+	bit := uint64(1) << (uint(v) & 63)
+	if fs.bits[w]&bit == 0 {
+		fs.bits[w] |= bit
+		fs.n++
+	}
+}
+
+// Len reports how many links are failed.
+func (fs *FailureSet) Len() int { return fs.n }
+
+// Has reports whether link v is failed. Variables beyond the set are up.
+//
+//hoyan:hotpath
+func (fs *FailureSet) Has(v logic.Var) bool {
+	w := int(v) >> 6
+	return w < len(fs.bits) && fs.bits[w]>>(uint(v)&63)&1 == 1
+}
+
+// Scratch holds the per-evaluation value array. One Scratch serves any
+// number of sequential Eval calls over programs of any size (it grows to
+// the largest seen and stays warm); it must not be shared concurrently.
+type Scratch struct {
+	vals []bool
+}
+
+// ensure sizes the value array for n instructions. Runs outside the
+// annotated hot path so Eval itself never allocates once warm.
+func (s *Scratch) ensure(n int) {
+	if cap(s.vals) < n {
+		s.vals = make([]bool, n)
+	}
+	s.vals = s.vals[:n]
+}
+
+// Eval evaluates the condition under the failure set: a variable is true
+// while its link is not failed, matching logic.Assignment's "up unless
+// failed" convention. With a decision diagram attached, evaluation is
+// one root-to-terminal walk; otherwise a single forward pass over the
+// instruction array (operands always reference earlier slots, so no
+// recursion and no stack).
+//
+//hoyan:hotpath
+func (p *Program) Eval(failed *FailureSet, s *Scratch) bool {
+	if r := p.ddRoot; r >= 0 {
+		for r > 1 {
+			nd := &p.dd[r-2]
+			if failed.Has(nd.v) {
+				r = nd.lo
+			} else {
+				r = nd.hi
+			}
+		}
+		return r == 1
+	}
+	s.ensure(len(p.ins))
+	vals := s.vals
+	for i := 0; i < len(p.ins); i++ {
+		ins := &p.ins[i]
+		var r bool
+		switch ins.op {
+		case opTrue:
+			r = true
+		case opVar:
+			r = !failed.Has(ins.v)
+		case opNot:
+			r = !vals[ins.a]
+		case opAnd:
+			r = vals[ins.a] && vals[ins.b]
+		case opOr:
+			r = vals[ins.a] || vals[ins.b]
+		}
+		vals[i] = r
+	}
+	return vals[len(vals)-1]
+}
+
+// CompileRoot compiles the root-th formula of the snapshot into a
+// Program. Only the nodes reachable from that root are emitted (the
+// snapshot may carry many roots with shared structure; each compiled
+// program is dense over its own sub-DAG so evaluation never touches
+// another root's nodes). maxVar bounds the variable universe: a
+// condition mentioning a variable beyond it is refused, which is how the
+// store compiler rejects conditions that are not pure link conditions.
+// maxVar < 0 disables the check.
+func CompileRoot(p *logic.Portable, root int, maxVar logic.Var) (*Program, error) {
+	if root < 0 || root >= p.NumRoots() {
+		return nil, fmt.Errorf("qc: root %d out of range (snapshot has %d)", root, p.NumRoots())
+	}
+	n := p.NumNodes()
+	// Mark the reachable sub-DAG. Children precede parents, so one
+	// reverse pass from the root settles reachability.
+	reach := make([]bool, n)
+	reach[p.Root(root)] = true
+	for i := n - 1; i >= 2; i-- {
+		if !reach[i] {
+			continue
+		}
+		s := p.NodeShape(i)
+		switch s.Kind {
+		case logic.WalkNot:
+			reach[s.A] = true
+		case logic.WalkAnd, logic.WalkOr:
+			reach[s.A] = true
+			reach[s.B] = true
+		}
+	}
+
+	prog := &Program{ddRoot: -1}
+	remap := make([]int32, n)
+	seenVars := map[logic.Var]bool{}
+	emit := func(ins instr) int32 {
+		prog.ins = append(prog.ins, ins)
+		return int32(len(prog.ins) - 1)
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		s := p.NodeShape(i)
+		switch s.Kind {
+		case logic.WalkConst:
+			op := opFalse
+			if s.Value {
+				op = opTrue
+			}
+			remap[i] = emit(instr{op: op})
+		case logic.WalkVar:
+			if s.Variable < 0 || (maxVar >= 0 && s.Variable > maxVar) {
+				return nil, fmt.Errorf("qc: condition mentions variable %d outside the link universe [0,%d]", s.Variable, maxVar)
+			}
+			remap[i] = emit(instr{op: opVar, v: s.Variable})
+			seenVars[s.Variable] = true
+		case logic.WalkNot:
+			remap[i] = emit(instr{op: opNot, a: remap[s.A]})
+		case logic.WalkAnd:
+			remap[i] = emit(instr{op: opAnd, a: remap[s.A], b: remap[s.B]})
+		case logic.WalkOr:
+			remap[i] = emit(instr{op: opOr, a: remap[s.A], b: remap[s.B]})
+		default:
+			return nil, fmt.Errorf("qc: node %d has unknown kind", i)
+		}
+	}
+	for v := range seenVars {
+		prog.vars = append(prog.vars, v)
+	}
+	sort.Slice(prog.vars, func(i, j int) bool { return prog.vars[i] < prog.vars[j] })
+	return prog, nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -45,6 +46,12 @@ type ClassRecord struct {
 	// reachability condition at CondRouter, portable across factories.
 	CondRouter string          `json:"cond_router,omitempty"`
 	Cond       *logic.Portable `json:"cond,omitempty"`
+	// CondRouters/Conds feed the query plane (internal/qc): the
+	// representative's reachability condition at every BGP-speaking
+	// router, exported as one multi-root Portable (root i is the
+	// condition at CondRouters[i]) so shared sub-DAGs are stored once.
+	CondRouters []string        `json:"cond_routers,omitempty"`
+	Conds       *logic.Portable `json:"conds,omitempty"`
 }
 
 // StoredLink is one baseline topology link by endpoint names.
@@ -114,13 +121,45 @@ func (e *CorruptStoreError) Error() string {
 
 func (e *CorruptStoreError) Unwrap() error { return e.Err }
 
-// Save writes the store as JSON.
+// Save writes the store as JSON, atomically: the bytes go to a unique
+// temp file in the destination directory, are fsync'd, and only then
+// renamed over path. A crash at any point leaves either the previous
+// store or the complete new one — never a torn file for LoadResultStore
+// or the quarantine machinery to trip over. Stale temp files from an
+// earlier crash are inert (the *.tmp-* name never matches path).
 func (st *ResultStore) Save(path string) error {
 	data, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("hoyan: encoding result store: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("hoyan: saving result store: %w", err)
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("hoyan: saving result store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("hoyan: saving result store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("hoyan: saving result store: %w", err)
+	}
+	return nil
 }
 
 // LoadResultStore reads a store written by Save. Damage is reported
@@ -188,6 +227,16 @@ func validateRecord(rec *ClassRecord) string {
 		if v.Router == "" {
 			return "violation names no router"
 		}
+	}
+	// The query-plane conditions must stay root-for-router aligned: a
+	// record whose router names and condition roots disagree would serve
+	// one router's answer under another's name.
+	if rec.Conds == nil {
+		if len(rec.CondRouters) != 0 {
+			return "router condition names without condition roots"
+		}
+	} else if rec.Conds.NumRoots() != len(rec.CondRouters) {
+		return fmt.Sprintf("%d condition roots for %d router names", rec.Conds.NumRoots(), len(rec.CondRouters))
 	}
 	return ""
 }
@@ -347,6 +396,22 @@ func captureRecord(res *core.Result, m *core.Model, cls core.PrefixClass,
 		cond := res.ReachCond(node.ID, core.AnyRouteTo(cls.Rep))
 		rec.CondRouter = anchor
 		rec.Cond = res.Sim.F.Export(cond)
+	}
+
+	// Export the reachability condition at every BGP speaker (node-ID
+	// order, deterministic) as one multi-root Portable: the query plane
+	// compiles these into per-router programs, so "reachable from R under
+	// F" is answered by evaluation instead of simulation.
+	var conds []logic.F
+	for _, node := range m.Net.Nodes() {
+		if m.Configs[node.ID].BGP == nil {
+			continue
+		}
+		rec.CondRouters = append(rec.CondRouters, node.Name)
+		conds = append(conds, res.ReachCond(node.ID, core.AnyRouteTo(cls.Rep)))
+	}
+	if len(conds) > 0 {
+		rec.Conds = res.Sim.F.Export(conds...)
 	}
 	return rec
 }

@@ -1,0 +1,73 @@
+package hoyan
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveAtomicReplacement: Save over an existing store must be
+// all-or-nothing. A writer that dies mid-save (simulated here by the
+// temp file a crashed Save leaves behind, and by a Save that fails
+// before renaming) must leave the previous store byte-identical and
+// loadable.
+func TestSaveAtomicReplacement(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	writeStore(t, path)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crashed Save manifests as a partially written temp file next to
+	// the store — the rename never happened. The store itself must be
+	// untouched and the leftover must not confuse the loader.
+	partial := filepath.Join(dir, "baseline.json.tmp-crashed")
+	if err := os.WriteFile(partial, before[:len(before)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("partial temp write modified the published store")
+	}
+	if _, err := LoadResultStore(path); err != nil {
+		t.Fatalf("store unloadable with a crashed writer's temp file present: %v", err)
+	}
+
+	// A Save that cannot even stage its temp file (directory vanished
+	// mid-flight) must fail loudly and leave the original store intact.
+	st2 := &ResultStore{OptionsHash: "other", K: 1}
+	if err := st2.Save(filepath.Join(dir, "no-such-subdir", "baseline.json")); err == nil {
+		t.Fatal("Save into a missing directory succeeded")
+	}
+	if after, err = os.ReadFile(path); err != nil || string(after) != string(before) {
+		t.Fatalf("failed Save disturbed the original store (err=%v)", err)
+	}
+
+	// A successful replacement publishes the new content completely and
+	// leaves no temp debris behind.
+	if err := st2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResultStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OptionsHash != "other" || got.K != 1 {
+		t.Fatalf("replacement not visible after Save: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") && e.Name() != filepath.Base(partial) {
+			t.Fatalf("Save left temp debris: %s", e.Name())
+		}
+	}
+}
