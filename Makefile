@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-compare fuzz-smoke chaos
+.PHONY: build test vet lint race check bench bench-compare fuzz-smoke chaos scale-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,16 @@ chaos:
 	$(GO) test -race -run 'Chaos|Session|Resume|Interleaved|LRU|ModelHash' ./internal/dist/
 	$(GO) run ./cmd/hoyanbench -exp recovery -rec-preset small -rec-iters 1 -rec-out=
 
+# scale-smoke bounds the paper-scale modular path: the distributed
+# modular/monolithic equality test under the race detector, then one
+# modular-vs-monolithic experiment iteration on the mid-size preset with
+# no snapshot write (reports are verified identical before any metric is
+# recorded). Real BENCH_PR8.json numbers come from `hoyanbench -exp
+# modular` on the full and xl presets.
+scale-smoke:
+	$(GO) test -race -run 'TestRunModularMatchesRunClasses' ./internal/dist/
+	$(GO) run ./cmd/hoyanbench -exp modular -mod-preset medium -mod-out=
+
 # fuzz-smoke runs each fuzz target briefly — enough to replay the corpus
 # and shake out shallow parser regressions without turning CI into a
 # fuzzing campaign.
@@ -62,4 +72,4 @@ fuzz-smoke:
 # race detector and the benchmark smoke. The dist/collector chaos tests
 # run here too — they are deterministic (seeded faultnet, byte-budget
 # fault schedules), so no flake allowance.
-check: vet lint race chaos bench bench-compare
+check: vet lint race chaos scale-smoke bench bench-compare

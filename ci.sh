@@ -27,6 +27,13 @@ go test -race ./...
 # recovery` on the medium preset.
 go test -race -run 'Chaos|Session|Resume|Interleaved|LRU|ModelHash' ./internal/dist/
 go run ./cmd/hoyanbench -exp recovery -rec-preset small -rec-iters 1 -rec-out=
+# Scale smoke: the distributed modular/monolithic equality test under
+# -race, then one bounded modular-vs-monolithic experiment iteration on
+# the medium preset (reports verified identical before any metric is
+# recorded; no snapshot write). Real BENCH_PR8.json numbers come from
+# `hoyanbench -exp modular` on the full and xl presets.
+go test -race -run 'TestRunModularMatchesRunClasses' ./internal/dist/
+go run ./cmd/hoyanbench -exp modular -mod-preset medium -mod-out=
 # Fuzz smoke: replay the corpus plus a few seconds of mutation on the
 # untrusted-input parsers. Failing inputs minimize into testdata/fuzz and
 # then fail `go test` forever after, so a crash found here stays fixed.

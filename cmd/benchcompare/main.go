@@ -78,7 +78,8 @@ func direction(metric string) int {
 	case strings.Contains(metric, "qps"),
 		strings.Contains(metric, "per_sec"),
 		strings.HasPrefix(metric, "speedup"),
-		strings.HasPrefix(metric, "saved"):
+		strings.HasPrefix(metric, "saved"),
+		strings.Contains(metric, "savings"):
 		return +1
 	case strings.Contains(metric, "seconds"),
 		strings.Contains(metric, "_per_op"),
@@ -87,6 +88,7 @@ func direction(metric string) int {
 		strings.HasSuffix(metric, "_ns"),
 		strings.HasPrefix(metric, "p50"),
 		strings.HasPrefix(metric, "p99"),
+		strings.HasPrefix(metric, "peak_"),
 		metric == "errors":
 		return -1
 	}

@@ -53,8 +53,11 @@ func TestDirection(t *testing.T) {
 		// Lower is better: timings, latencies, error counts.
 		"seconds": -1, "sweep_seconds": -1, "ns_per_op": -1, "allocs_per_op": -1,
 		"compile_ms": -1, "p50_us": -1, "p99_us": -1, "errors": -1,
-		// Higher is better: throughput and speedups.
+		// Lower is better: peak-memory high-water marks.
+		"peak_heap_bytes": -1, "peak_rss_bytes": -1,
+		// Higher is better: throughput, speedups, and savings ratios.
 		"queries_per_sec": +1, "qps": +1, "speedup_vs_cold": +1, "saved_seconds_hot": +1,
+		"speedup_vs_mono": +1, "heap_savings_mono": +1,
 		// Neutral: counts and configuration echoes are never judged.
 		"classes": 0, "prefixes": 0, "workers": 0, "clients": 0, "instrs": 0,
 	}

@@ -100,6 +100,7 @@ func main() {
 	hedgeAfter := fs.Duration("hedge-after", 0, "sweep: re-dispatch stragglers to idle workers after this long (0 = off)")
 	partial := fs.Bool("partial", false, "sweep: report failed prefixes instead of aborting the run")
 	noClasses := fs.Bool("no-classes", false, "sweep: simulate every prefix instead of one representative per behavior class")
+	modular := fs.Bool("modular", false, "sweep: per-region passes stitched through interface summaries, O(WAN/regions) working set (falls back to monolithic, loudly, when no usable cut exists)")
 	baseline := fs.String("baseline", "", "sweep: baseline result store for incremental re-verification")
 	saveBaseline := fs.String("save-baseline", "", "sweep: write a baseline result store after a local sweep")
 	noIncr := fs.Bool("no-incremental", false, "sweep: ignore -baseline and sweep cold")
@@ -328,11 +329,14 @@ func main() {
 		if *resume && *journal == "" {
 			fail("-resume needs -journal")
 		}
+		if *modular && *saveBaseline != "" {
+			fail("-modular cannot capture a baseline (portable conditions require monolithic simulation)")
+		}
 		if *workers == "" {
-			if *baseline == "" && *saveBaseline == "" {
-				fail("missing -workers (local sweeps need -baseline or -save-baseline)")
+			if *baseline == "" && *saveBaseline == "" && !*modular {
+				fail("missing -workers (local sweeps need -baseline, -save-baseline, or -modular)")
 			}
-			localSweep(net, snap, *k, *noClasses, *noIncr, *auditSample, *threads, *baseline, *saveBaseline)
+			localSweep(net, snap, *k, *noClasses, *noIncr, *modular, *auditSample, *threads, *baseline, *saveBaseline)
 			exit(0)
 		}
 		if *baseline != "" && *noClasses {
@@ -356,6 +360,9 @@ func main() {
 			}
 			fmt.Println("no usable baseline; sweeping cold")
 		}
+		if *modular && (*noClasses || *journal != "") {
+			fail("-modular needs a classed sweep without -journal (sessions journal monolithic class completions)")
+		}
 		m, _ := build(snap)
 		var res *dist.Result
 		var err error
@@ -377,9 +384,12 @@ func main() {
 				total += len(cl)
 				jobs = append(jobs, cl)
 			}
-			if *journal != "" {
+			switch {
+			case *journal != "":
 				res, err = sessionSweep(coord, jobs, total, *k, *journal, *sessionID, *resume, net, snap)
-			} else {
+			case *modular:
+				res, err = modularSweep(coord, m, classes, jobs, total, *k)
+			default:
 				fmt.Printf("dispatching %d behavior classes for %d prefixes\n", len(jobs), total)
 				res, err = coord.RunClasses(jobs, *k)
 			}
@@ -586,10 +596,10 @@ func loadBaseline(path string) *hoyan.ResultStore {
 // localSweep runs Sweep/SweepBaseline in-process — the only mode that can
 // capture a baseline store (taint sets and portable conditions come from
 // live simulator state, which remote workers do not ship back).
-func localSweep(net *topo.Network, snap config.Snapshot, k int, noClasses, noIncr bool,
+func localSweep(net *topo.Network, snap config.Snapshot, k int, noClasses, noIncr, modular bool,
 	auditSample float64, threads int, baselinePath, savePath string) {
 	hn := hoyan.NetworkFrom(net, snap)
-	opts := hoyan.Options{K: k, NoClasses: noClasses, NoIncremental: noIncr, AuditSample: auditSample}
+	opts := hoyan.Options{K: k, NoClasses: noClasses, NoIncremental: noIncr, Modular: modular, AuditSample: auditSample}
 	if baselinePath != "" {
 		opts.Baseline = loadBaseline(baselinePath)
 		if opts.Baseline == nil {
@@ -623,6 +633,42 @@ func localSweep(net *topo.Network, snap config.Snapshot, k int, noClasses, noInc
 	if len(rep.Violations) > 0 {
 		exit(1)
 	}
+}
+
+// modularSweep dispatches each class representative as one home pass
+// plus per-region import passes (dist.RunModular), so every worker holds
+// one region's working set instead of the whole WAN. When the model has
+// no usable cut it falls back — loudly — to the monolithic class run,
+// matching the in-process sweep's refusal contract.
+func modularSweep(coord *dist.Coordinator, m *core.Model, classes []core.PrefixClass,
+	jobs [][]string, total, k int) (*dist.Result, error) {
+	pt, err := core.NewPartition(m)
+	if err != nil {
+		fmt.Printf("note: modular fallback to monolithic: %v\n", err)
+		fmt.Printf("dispatching %d behavior classes for %d prefixes\n", len(jobs), total)
+		return coord.RunClasses(jobs, k)
+	}
+	regions := make([]string, 0, pt.NumRegions())
+	for i := 0; i < pt.NumRegions(); i++ {
+		regions = append(regions, pt.RegionName(i))
+	}
+	mcs := make([]dist.ModularClass, 0, len(classes))
+	for i, cl := range classes {
+		mc := dist.ModularClass{Members: jobs[i]}
+		if hi, herr := pt.FamilyHome(m, cl.Rep); herr == nil {
+			mc.Home = pt.RegionName(hi)
+		} else {
+			fmt.Printf("note: %s falls back to monolithic: %v\n", cl.Rep, herr)
+		}
+		mcs = append(mcs, mc)
+	}
+	fmt.Printf("dispatching %d behavior classes for %d prefixes across %d regions\n", len(jobs), total, len(regions))
+	res, err := coord.RunModular(mcs, regions, k)
+	if res != nil {
+		fmt.Printf("modular: %d region passes, %d representatives fell back to monolithic\n",
+			res.ModularPasses, res.ModularRefused)
+	}
+	return res, err
 }
 
 // distIncrementalSweep plans invalidation locally against a saved

@@ -24,6 +24,15 @@
 // BENCH_PR6.json (-rec-out) as the recovery_cold / recovery_resumed
 // groups; -rec-preset/-rec-iters size the run.
 //
+// `-exp modular` measures modular per-region verification: the same WAN
+// is swept monolithically and region-by-region (interface summaries,
+// Options.Modular), with wall-clock and peak-memory tracking for both,
+// after verifying the two reports agree verdict for verdict. Metrics
+// land in BENCH_PR8.json (-mod-out) as the sweep_monolithic /
+// sweep_modular groups; -mod-preset/-mod-k size the run ("xl" is the
+// O(1000)-router paper-scale WAN where the working-set gap is the
+// story).
+//
 // `-exp query` measures the query plane: one baseline sweep is captured
 // and compiled (internal/qc), then seeded concurrent clients fire a
 // reach/minfail/impact mix at GET /v1/query over HTTP. Metrics — the
@@ -51,7 +60,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | recovery | query | all")
+	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | recovery | query | modular | all")
 	budget := flag.Duration("budget", 60*time.Second, "per-cell budget for baseline comparisons")
 	months := flag.Int("months", 24, "campaign months for fig7")
 	limit := flag.Int("limit", 24, "prefix sample size for full-WAN experiments (0 = all)")
@@ -71,6 +80,9 @@ func main() {
 	queryDuration := flag.Duration("query-duration", 10*time.Second, "query experiment: load-test length")
 	querySeed := flag.Int64("query-seed", 1, "query experiment: request-mix seed")
 	queryOut := flag.String("query-out", "BENCH_PR7.json", "query experiment: JSON snapshot to merge the metrics into (empty = don't write)")
+	modPreset := flag.String("mod-preset", "full", "modular experiment: small | medium | full | xl")
+	modK := flag.Int("mod-k", 1, "modular experiment: failure budget")
+	modOut := flag.String("mod-out", "BENCH_PR8.json", "modular experiment: JSON snapshot to merge the metrics into (empty = don't write)")
 	flag.Parse()
 
 	if *perf != "" {
@@ -107,12 +119,14 @@ func main() {
 			if err != nil {
 				return bench.Table{}, err
 			}
+			tr := bench.TrackPeak()
 			t, m, err := bench.IncrementalSweep(params, 3, *workers, *incrIters)
+			peak := tr.Stop()
 			if err != nil {
 				return bench.Table{}, err
 			}
 			if *incrOut != "" {
-				if err := writeIncrementalSnapshot(*incrOut, *incrPreset, m); err != nil {
+				if err := writeIncrementalSnapshot(*incrOut, *incrPreset, m, peak); err != nil {
 					return bench.Table{}, err
 				}
 				fmt.Printf("recorded resweep metrics in %s\n", *incrOut)
@@ -124,12 +138,14 @@ func main() {
 			if err != nil {
 				return bench.Table{}, err
 			}
+			tr := bench.TrackPeak()
 			t, m, err := bench.RecoverySweep(params, 3, 2, *recIters)
+			peak := tr.Stop()
 			if err != nil {
 				return bench.Table{}, err
 			}
 			if *recOut != "" {
-				if err := writeRecoverySnapshot(*recOut, *recPreset, m); err != nil {
+				if err := writeRecoverySnapshot(*recOut, *recPreset, m, peak); err != nil {
 					return bench.Table{}, err
 				}
 				fmt.Printf("recorded recovery metrics in %s\n", *recOut)
@@ -141,15 +157,34 @@ func main() {
 			if err != nil {
 				return bench.Table{}, err
 			}
+			tr := bench.TrackPeak()
 			t, m, err := bench.QueryLoad(params, 3, *workers, *queryClients, *queryDuration, *querySeed)
+			peak := tr.Stop()
 			if err != nil {
 				return bench.Table{}, err
 			}
 			if *queryOut != "" {
-				if err := writeQuerySnapshot(*queryOut, *queryPreset, m); err != nil {
+				if err := writeQuerySnapshot(*queryOut, *queryPreset, m, peak); err != nil {
 					return bench.Table{}, err
 				}
 				fmt.Printf("recorded query-plane metrics in %s\n", *queryOut)
+			}
+			return t, nil
+		}},
+		{"modular", func() (bench.Table, error) {
+			params, err := presetParams(*modPreset)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			t, m, err := bench.ModularSweep(params, *modK, *workers)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			if *modOut != "" {
+				if err := writeModularSnapshot(*modOut, *modPreset, m); err != nil {
+					return bench.Table{}, err
+				}
+				fmt.Printf("recorded modular-verification metrics in %s\n", *modOut)
 			}
 			return t, nil
 		}},
@@ -235,17 +270,21 @@ func runPerf(label, out string, workers int, noClasses bool, auditSample float64
 		if err != nil {
 			return err
 		}
+		tr := bench.TrackPeak()
 		rep, err := sweepNetwork(pw).Sweep(hoyan.Options{K: 3, NoClasses: noClasses, AuditSample: auditSample}, workers)
+		peak := tr.Stop()
 		if err != nil {
 			return err
 		}
 		snap["sweep_"+preset.name] = map[string]any{
-			"seconds":  rep.Duration.Seconds(),
-			"prefixes": len(rep.Prefixes),
-			"classes":  rep.Classes,
-			"audited":  rep.Audited,
-			"workers":  rep.Workers,
-			"k":        3,
+			"seconds":         rep.Duration.Seconds(),
+			"prefixes":        len(rep.Prefixes),
+			"classes":         rep.Classes,
+			"audited":         rep.Audited,
+			"workers":         rep.Workers,
+			"k":               3,
+			"peak_heap_bytes": peak.HeapAllocBytes,
+			"peak_rss_bytes":  peak.RSSBytes,
 		}
 		fmt.Printf("sweep %s: %s\n", preset.name, rep)
 	}
@@ -277,6 +316,8 @@ func presetParams(name string) (gen.Params, error) {
 		return gen.Medium(), nil
 	case "full":
 		return gen.Full(), nil
+	case "xl":
+		return gen.XL(), nil
 	}
 	return gen.Params{}, fmt.Errorf("unknown preset %q", name)
 }
@@ -285,12 +326,14 @@ func presetParams(name string) (gen.Params, error) {
 // metrics into the BENCH_PR4-style JSON file: one label per preset,
 // with resweep_full (cold re-sweep of the perturbed WAN) and
 // resweep_incremental (same network, baseline-diffed sweep) groups.
-func writeIncrementalSnapshot(out, preset string, m *bench.IncrementalMetrics) error {
+func writeIncrementalSnapshot(out, preset string, m *bench.IncrementalMetrics, peak bench.PeakMem) error {
 	snap := map[string]any{
-		"date":         time.Now().UTC().Format(time.RFC3339),
-		"go":           runtime.Version(),
-		"gomaxprocs":   runtime.GOMAXPROCS(0),
-		"perturbation": m.Perturbation,
+		"date":            time.Now().UTC().Format(time.RFC3339),
+		"go":              runtime.Version(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"peak_heap_bytes": peak.HeapAllocBytes,
+		"peak_rss_bytes":  peak.RSSBytes,
+		"perturbation":    m.Perturbation,
 		"resweep_full": map[string]any{
 			"seconds":  m.ColdSeconds,
 			"prefixes": m.Prefixes,
@@ -328,11 +371,13 @@ func writeIncrementalSnapshot(out, preset string, m *bench.IncrementalMetrics) e
 // BENCH_PR6-style JSON file: one label per preset, with recovery_cold
 // (uninterrupted classed sweep) and recovery_resumed (journal replay +
 // re-dispatch after a mid-sweep coordinator kill) groups.
-func writeRecoverySnapshot(out, preset string, m *bench.RecoveryMetrics) error {
+func writeRecoverySnapshot(out, preset string, m *bench.RecoveryMetrics, peak bench.PeakMem) error {
 	snap := map[string]any{
-		"date":       time.Now().UTC().Format(time.RFC3339),
-		"go":         runtime.Version(),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"date":            time.Now().UTC().Format(time.RFC3339),
+		"go":              runtime.Version(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"peak_heap_bytes": peak.HeapAllocBytes,
+		"peak_rss_bytes":  peak.RSSBytes,
 		"recovery_cold": map[string]any{
 			"seconds": m.ColdSeconds,
 			"classes": m.Classes,
@@ -385,12 +430,14 @@ func sweepNetwork(w *gen.WAN) *hoyan.Network {
 // costs (sweep + compile), the compiled single-condition evaluation
 // microbenchmark, and the HTTP load test's throughput and latency
 // percentiles.
-func writeQuerySnapshot(out, preset string, m *bench.QueryMetrics) error {
+func writeQuerySnapshot(out, preset string, m *bench.QueryMetrics, peak bench.PeakMem) error {
 	snap := map[string]any{
-		"date":       time.Now().UTC().Format(time.RFC3339),
-		"go":         runtime.Version(),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"classes":    m.Classes,
+		"date":            time.Now().UTC().Format(time.RFC3339),
+		"go":              runtime.Version(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"peak_heap_bytes": peak.HeapAllocBytes,
+		"peak_rss_bytes":  peak.RSSBytes,
+		"classes":         m.Classes,
 		"prefixes":   m.Prefixes,
 		"programs":   m.Programs,
 		"k":          m.K,
@@ -425,6 +472,53 @@ func writeQuerySnapshot(out, preset string, m *bench.QueryMetrics) error {
 		}
 	}
 	doc["query-"+preset] = snap
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
+
+// writeModularSnapshot merges the modular-verification metrics into the
+// BENCH_PR8-style JSON file: one label per preset, with sweep_monolithic
+// and sweep_modular groups measured on the identical WAN (reports
+// verified identical before recording). Peak heap is the sampled
+// live-heap high-water of each sweep's own window; peak RSS is the
+// kernel's process-lifetime VmHWM, so only the first-run (modular)
+// reading is uninflated by the other mode.
+func writeModularSnapshot(out, preset string, m *bench.ModularMetrics) error {
+	snap := map[string]any{
+		"date":       time.Now().UTC().Format(time.RFC3339),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"routers":    m.Routers,
+		"prefixes":   m.Prefixes,
+		"classes":    m.Classes,
+		"regions":    m.Regions,
+		"k":          m.K,
+		"workers":    m.Workers,
+		"sweep_monolithic": map[string]any{
+			"seconds":         m.MonoSeconds,
+			"peak_heap_bytes": m.MonoPeakHeap,
+			"peak_rss_bytes":  m.MonoRSS,
+		},
+		"sweep_modular": map[string]any{
+			"seconds":           m.ModSeconds,
+			"peak_heap_bytes":   m.ModPeakHeap,
+			"peak_rss_bytes":    m.ModRSS,
+			"passes":            m.Passes,
+			"refused":           m.Refused,
+			"speedup_vs_mono":   m.SpeedupTime,
+			"heap_savings_mono": m.SavingsHeap,
+		},
+	}
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	}
+	doc["modular-"+preset] = snap
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

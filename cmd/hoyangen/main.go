@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	preset := flag.String("preset", "small", "small | medium | full")
+	preset := flag.String("preset", "small", "small | medium | full | xl")
 	seed := flag.Int64("seed", 0, "override the preset seed")
 	out := flag.String("out", "", "output directory")
 	fault := flag.String("fault", "", "inject a fault: static-pref-flip | racing | ip-conflict | role-drift | acl-block")
@@ -34,6 +34,8 @@ func main() {
 		params = gen.Medium()
 	case "full":
 		params = gen.Full()
+	case "xl":
+		params = gen.XL()
 	default:
 		fmt.Fprintf(os.Stderr, "hoyangen: unknown preset %q\n", *preset)
 		os.Exit(2)

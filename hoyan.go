@@ -174,6 +174,17 @@ type Options struct {
 	// NoIncremental ignores Baseline and sweeps cold — the correctness
 	// escape hatch mirroring NoClasses.
 	NoIncremental bool
+	// Modular runs Sweep region by region (DESIGN.md, "Modular
+	// verification"): each prefix family is simulated in its home region
+	// first, the routes it exports across each region cut are captured as
+	// an interface summary, and every other region is then verified
+	// against the imported summary — so a pass holds O(WAN/regions)
+	// propagation state instead of O(WAN). Reports are byte-identical to
+	// a monolithic sweep; families whose behavior a cut cannot express
+	// (cross-region origination, re-export across a second cut, frozen
+	// sessions) fall back to monolithic simulation, loudly counted in
+	// SweepReport.Modular. Incompatible with SweepBaseline capture.
+	Modular bool
 }
 
 // TunedProfiles returns the fully tuned vendor behavior registry.

@@ -1,0 +1,107 @@
+// Peak-memory measurement for the benchmark experiments. The paper's
+// scalability argument is as much about working-set size as wall-clock —
+// a worker that holds the whole WAN cannot be packed densely — so every
+// BENCH snapshot records the high-water mark of the measured window, not
+// just its duration.
+package bench
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PeakMem is the memory high-water of one measured window.
+type PeakMem struct {
+	// HeapAllocBytes is the largest live-heap size (runtime.MemStats
+	// HeapAlloc) observed while the tracker ran. It is sampled, so very
+	// short spikes between samples can be missed; the sweep workloads
+	// here hold their peaks for many milliseconds.
+	HeapAllocBytes uint64
+	// RSSBytes is the kernel's VmHWM (peak resident set) at Stop time,
+	// read from /proc/self/status. It is a process-lifetime high-water:
+	// monotone across windows, so only the first workload of a process
+	// gets an uninflated reading. Zero when /proc is unavailable.
+	RSSBytes uint64
+}
+
+// PeakTracker samples the live heap until Stop.
+type PeakTracker struct {
+	mu   sync.Mutex
+	peak uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+// TrackPeak forces a GC to shed the previous workload's garbage from the
+// baseline, then samples HeapAlloc every few milliseconds until Stop.
+func TrackPeak() *PeakTracker {
+	runtime.GC()
+	t := &PeakTracker{stop: make(chan struct{}), done: make(chan struct{})}
+	t.sample()
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.sample()
+			}
+		}
+	}()
+	return t
+}
+
+func (t *PeakTracker) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.mu.Lock()
+	if ms.HeapAlloc > t.peak {
+		t.peak = ms.HeapAlloc
+	}
+	t.mu.Unlock()
+}
+
+// Stop takes a final sample and returns the window's high-water marks.
+func (t *PeakTracker) Stop() PeakMem {
+	close(t.stop)
+	<-t.done
+	t.sample()
+	t.mu.Lock()
+	peak := t.peak
+	t.mu.Unlock()
+	return PeakMem{HeapAllocBytes: peak, RSSBytes: readVmHWM()}
+}
+
+// readVmHWM parses the peak resident set from /proc/self/status.
+func readVmHWM() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hoyan/internal/behavior"
+	"hoyan/internal/gen"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/policy"
+	"hoyan/internal/route"
+)
+
+// TestClassesXLCountSanity pins the batching layer at paper scale: on
+// the O(1000)-router / O(10k)-prefix XL WAN every announced prefix lands
+// in exactly one class, and the prefix families are region-local enough
+// that batching wins at least an order of magnitude — each gateway's
+// service prefixes are policy-equivalent, so O(10k) prefixes collapse to
+// O(100) representative simulations.
+func TestClassesXLCountSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("XL model assembly under -short")
+	}
+	m := modelFrom(t, gen.XL())
+	prefixes := m.AnnouncedPrefixes()
+	classes := m.Classes()
+
+	seen := map[netaddr.Prefix]int{}
+	for _, c := range classes {
+		for _, p := range c.Members {
+			seen[p]++
+		}
+	}
+	if len(seen) != len(prefixes) {
+		t.Fatalf("classes cover %d prefixes, announced %d", len(seen), len(prefixes))
+	}
+	for _, p := range prefixes {
+		if seen[p] != 1 {
+			t.Fatalf("prefix %s appears in %d classes, want 1", p, seen[p])
+		}
+	}
+	if len(classes) < gen.XL().Regions {
+		t.Fatalf("only %d classes across %d regions — region-local policy should not collapse that far",
+			len(classes), gen.XL().Regions)
+	}
+	if 10*len(classes) > len(prefixes) {
+		t.Fatalf("batching below 10x at paper scale: %d classes for %d prefixes", len(classes), len(prefixes))
+	}
+	t.Logf("gen.XL: %d prefixes in %d classes (%.0fx)", len(prefixes), len(classes),
+		float64(len(prefixes))/float64(len(classes)))
+}
+
+// TestClassesXLFingerprintStability: regenerating and reassembling the
+// XL WAN reproduces the identical partition — same class count, same
+// representatives, same fingerprints. Incremental sweeps persist
+// fingerprints across runs, so instability here would silently void
+// every cached verdict.
+func TestClassesXLFingerprintStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("XL model assembly under -short")
+	}
+	c1 := modelFrom(t, gen.XL()).Classes()
+	c2 := modelFrom(t, gen.XL()).Classes()
+	if len(c1) != len(c2) {
+		t.Fatalf("class count unstable: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i].Rep != c2[i].Rep {
+			t.Fatalf("class %d representative unstable: %s vs %s", i, c1[i].Rep, c2[i].Rep)
+		}
+		if c1[i].Fingerprint != c2[i].Fingerprint {
+			t.Fatalf("class %d (%s) fingerprint unstable", i, c1[i].Rep)
+		}
+	}
+}
+
+// TestClassesXLAsymmetricPolicySplits: giving one region's PEs a policy
+// term the other 23 regions lack must split the affected prefixes out of
+// their classes. This is the asymmetry the paper stresses for WANs — a
+// verifier that assumed cross-region symmetry would keep batching
+// prefixes whose treatment now differs.
+func TestClassesXLAsymmetricPolicySplits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("XL model assembly under -short")
+	}
+	base := len(modelFrom(t, gen.XL()).Classes())
+
+	w, err := gen.Generate(gen.XL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0's PEs special-case half of the prefixes of region 0's
+	// first gateway: an extra TAG term that tags them with a community
+	// nobody else adds. The stock WAN batches each gateway's prefixes
+	// into one class, so the asymmetry must cut through a class — not
+	// relabel a whole one — to prove it splits.
+	var owned []netaddr.Prefix
+	for _, pfx := range w.Prefixes() {
+		if w.PrefixOwners[pfx] == "gw-r0-0" {
+			owned = append(owned, pfx)
+		}
+	}
+	if len(owned) < 2 {
+		t.Fatalf("gw-r0-0 owns %d prefixes, need at least 2 to split", len(owned))
+	}
+	var splitRules []policy.PrefixRule
+	for i, pfx := range owned {
+		if i%2 == 0 {
+			splitRules = append(splitRules, policy.PrefixRule{Prefix: pfx, Action: policy.Permit})
+		}
+	}
+	for name, dev := range w.Snap {
+		if !strings.HasPrefix(name, "pe-r0-") {
+			continue
+		}
+		pl := &policy.PrefixList{Name: "ASYM0", Rules: splitRules}
+		dev.PrefixLists["ASYM0"] = pl
+		tag := dev.RoutePolicies["TAG"]
+		if tag == nil {
+			t.Fatalf("%s has no TAG policy", name)
+		}
+		tag.Terms = append([]policy.Term{{
+			Seq:    1,
+			Action: policy.Permit,
+			Match:  policy.Match{PrefixList: pl},
+			Set:    policy.Set{AddComms: []route.Community{route.MakeCommunity(64500, 990)}},
+		}}, tag.Terms...)
+	}
+	m, err := Assemble(w.Net, w.Snap, behavior.TrueProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asym := len(m.Classes())
+	if asym <= base {
+		t.Fatalf("asymmetric region-0 policy did not split classes: %d -> %d", base, asym)
+	}
+	t.Logf("gen.XL classes: %d (symmetric) -> %d (region-0 asymmetry)", base, asym)
+}

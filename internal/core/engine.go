@@ -131,6 +131,10 @@ type Simulator struct {
 	violateCache  map[logic.F]int
 	simplifyCache map[logic.F]logic.F
 
+	// restr scopes the next Run to one region of a Partition (modular.go);
+	// nil means monolithic simulation. Set only by RunRegion.
+	restr *restriction
+
 	sc runScratch
 }
 
@@ -239,6 +243,9 @@ func (s *Simulator) Reset() {
 	clear(s.simplifyCache)
 	if s.shared != nil {
 		s.IGP.Seed(s.shared.memo)
+		if s.shared.base != nil {
+			s.IGP.AddSeed(s.shared.base)
+		}
 	}
 	for i := range s.sessions {
 		se := &s.sessions[i]
@@ -376,6 +383,11 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	origins := s.M.Origins()
 	resolve := s.M.resolveFn()
 	for id := 0; id < n; id++ {
+		if s.restr != nil && !s.restr.in[id] {
+			// Restricted pass: out-of-region nodes originate nothing here —
+			// their routes arrive, if at all, as imported summary messages.
+			continue
+		}
 		dev := s.M.Devices[id]
 		for _, r := range origins[id] {
 			if overlapsFamily(r.Prefix) {
@@ -423,6 +435,27 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 			addPrefix(e.Route.Prefix)
 		}
 	}
+	if s.restr != nil {
+		// The universe must stay GLOBAL under a restricted pass — masked
+		// out-of-region origins and imported routes still index into the
+		// per-prefix slots — so every pass of a family shares the
+		// monolithic run's universe exactly.
+		for id := 0; id < n; id++ {
+			if s.restr.in[id] {
+				continue
+			}
+			for _, r := range origins[id] {
+				if overlapsFamily(r.Prefix) {
+					addPrefix(r.Prefix)
+				}
+			}
+		}
+		for _, es := range s.restr.contrib {
+			for _, e := range es {
+				addPrefix(e.Route.Prefix)
+			}
+		}
+	}
 	sortPrefixes(sc.prefixes)
 	for i, p := range sc.prefixes {
 		sc.prefixIdx[p] = i
@@ -464,6 +497,23 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 			sc.inQueue[id] = true
 		}
 	}
+	if s.restr != nil {
+		// Pin the imported summary contributions on inject sessions — they
+		// are never recomputed (the sender is outside the region) — and
+		// queue their receivers so propagation starts from the cut.
+		for si, es := range s.restr.contrib {
+			if len(es) == 0 {
+				continue
+			}
+			sc.contrib[si] = es
+			sc.taintSess[si] = true
+			to := int(s.sessions[si].to)
+			if !sc.inQueue[to] {
+				sc.inQueue[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
 	maxSteps := s.Opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 64 * n * (len(s.sessions) + 1)
@@ -482,6 +532,12 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 		sc.inQueue[u] = false
 		bgpRIB(u)
 		for _, si := range s.sessionsBy[u] {
+			if s.restr != nil && s.restr.mode[si] != sessActive {
+				// Restricted pass: capture sessions are computed only from
+				// the converged state (final wire pass), inject sessions are
+				// pinned, dead sessions never run.
+				continue
+			}
 			if sc.changes[si] > dampAfter {
 				continue // oscillation damping (see Stats.FrozenSessions)
 			}
@@ -507,6 +563,9 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	// These are retained by the Result, so they are built fresh, not in
 	// scratch.
 	for id := 0; id < n; id++ {
+		if s.restr != nil && !s.restr.in[id] {
+			continue // out-of-region RIBs belong to other passes
+		}
 		bgpRIB(id)
 		var all []Entry
 		for i := range sc.prefixes {
@@ -527,8 +586,14 @@ func (s *Simulator) Run(prefix netaddr.Prefix) (*Result, error) {
 	wire := make([][]Entry, len(s.sessions))
 	var scratch Stats
 	for u := 0; u < n; u++ {
+		if s.restr != nil && !s.restr.in[u] {
+			continue
+		}
 		bgpRIB(u)
 		for _, si := range s.sessionsBy[u] {
+			// In a restricted pass an in-region sender's sessions are
+			// active or capture; capture sessions get their only announce
+			// here — the wire view that becomes the region's CutSummary.
 			_, sent := s.announce(s.sessions[si], si, &scratch)
 			wire[si] = sent
 		}

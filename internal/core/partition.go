@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hoyan/internal/igp"
+	"hoyan/internal/netaddr"
+	"hoyan/internal/topo"
+)
+
+// Partition cuts the assembled model at region boundaries for modular
+// verification (ROADMAP item 3, after LIGHTYEAR's module cuts). The cut
+// is purely a session classification: every node keeps its global ID,
+// every condition still ranges over the global link-aliveness variables,
+// and the IGP stays global — only BGP propagation is restricted to one
+// region per pass, with routes crossing a cut carried by CutSummary
+// messages instead of live sessions.
+//
+// A Partition is immutable and safe for concurrent use.
+type Partition struct {
+	regions    []string
+	regionIdx  map[string]int
+	nodeRegion []int // per NodeID; -1 when the node declares no region
+}
+
+// NewPartition derives the region partition of a model. It refuses —
+// loudly, so the caller falls back to monolithic simulation — when any
+// BGP-speaking node declares no region (the cut would be undefined for
+// its sessions) or when fewer than two regions exist (nothing to cut).
+func NewPartition(m *Model) (*Partition, error) {
+	pt := &Partition{
+		regionIdx:  map[string]int{},
+		nodeRegion: make([]int, m.Net.NumNodes()),
+	}
+	seen := map[string]bool{}
+	for _, node := range m.Net.Nodes() {
+		if node.Region == "" && m.Configs[node.ID].BGP != nil {
+			return nil, fmt.Errorf("core: modular cut undefined: BGP speaker %q has no region", node.Name)
+		}
+		if node.Region != "" && !seen[node.Region] {
+			seen[node.Region] = true
+			pt.regions = append(pt.regions, node.Region)
+		}
+	}
+	if len(pt.regions) < 2 {
+		return nil, fmt.Errorf("core: modular cut needs at least 2 regions, model has %d", len(pt.regions))
+	}
+	sort.Strings(pt.regions)
+	for i, r := range pt.regions {
+		pt.regionIdx[r] = i
+	}
+	for _, node := range m.Net.Nodes() {
+		if node.Region == "" {
+			pt.nodeRegion[node.ID] = -1
+			continue
+		}
+		pt.nodeRegion[node.ID] = pt.regionIdx[node.Region]
+	}
+	return pt, nil
+}
+
+// NumRegions reports the number of regions in the partition.
+func (pt *Partition) NumRegions() int { return len(pt.regions) }
+
+// RegionName returns region i's name (regions are sorted by name).
+func (pt *Partition) RegionName(i int) string { return pt.regions[i] }
+
+// RegionOf returns the region index of a node, -1 when it has none.
+func (pt *Partition) RegionOf(id topo.NodeID) int { return pt.nodeRegion[id] }
+
+// RegionIndex returns the index of a region by name, -1 when the
+// partition has no such region — the lookup a remote pass needs to map a
+// wire-level region name back onto the partition.
+func (pt *Partition) RegionIndex(name string) int {
+	if i, ok := pt.regionIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// FamilyHome returns the single region originating prefix p's family:
+// the region of every node holding an overlapping BGP origin or an
+// overlapping static for the family. It refuses when the origins span
+// regions (the summary cannot express a multi-homed cut soundly — the
+// class falls back to monolithic simulation) or when nothing originates
+// the family at all.
+func (pt *Partition) FamilyHome(m *Model, p netaddr.Prefix) (int, error) {
+	family := m.PrefixFamily(p)
+	overlaps := func(q netaddr.Prefix) bool {
+		for _, fp := range family {
+			if fp == q || fp.Overlaps(q) {
+				return true
+			}
+		}
+		return false
+	}
+	home := -1
+	origins := m.Origins()
+	for id := range m.Devices {
+		related := false
+		for _, r := range origins[id] {
+			if overlaps(r.Prefix) {
+				related = true
+				break
+			}
+		}
+		if !related {
+			for _, sr := range m.Configs[id].Statics {
+				if overlaps(sr.Prefix) {
+					related = true
+					break
+				}
+			}
+		}
+		if !related {
+			continue
+		}
+		r := pt.nodeRegion[id]
+		if r < 0 {
+			return -1, fmt.Errorf("core: modular: %s originates in region-less node %q", p, m.Net.Node(topo.NodeID(id)).Name)
+		}
+		if home >= 0 && home != r {
+			return -1, fmt.Errorf("core: modular: family of %s originates in both %s and %s", p, pt.regions[home], pt.regions[r])
+		}
+		home = r
+	}
+	if home < 0 {
+		return -1, fmt.Errorf("core: modular: nothing originates the family of %s", p)
+	}
+	return home, nil
+}
+
+// CutMemo snapshots the IGP destinations behind every cross-region
+// session condition. Built once per modular sweep and layered under each
+// region's own memo, it keeps the O(regions) per-pass IGP state from
+// re-propagating the cut destinations every phase.
+func CutMemo(m *Model, opts Options, pt *Partition) *igp.Memo {
+	canon := NewSimulator(m, opts)
+	for i := range canon.sessions {
+		se := &canon.sessions[i]
+		if pt.RegionOf(se.from) != pt.RegionOf(se.to) {
+			canon.sessionCond(i)
+		}
+	}
+	return canon.IGP.Snapshot()
+}
+
+// NewRegionShared is NewShared scoped to one region of a partition: the
+// canonical pass resolves only the region's internal session conditions,
+// and the snapshot excludes destinations the cut memo already covers, so
+// a region's resident IGP state is O(region), not O(WAN). Simulators
+// derived from it see the region memo layered over the cut memo.
+func NewRegionShared(m *Model, opts Options, pt *Partition, region int, cut *igp.Memo) *Shared {
+	sh := &Shared{M: m, Opts: opts, base: cut}
+	m.Origins() // warm the origination cache before workers race to it
+
+	canon := NewSimulator(m, opts)
+	canon.IGP.Seed(cut)
+	for i := range canon.sessions {
+		se := &canon.sessions[i]
+		if pt.RegionOf(se.from) == region && pt.RegionOf(se.to) == region {
+			canon.sessionCond(i)
+		}
+	}
+	sh.memo = canon.IGP.SnapshotLocal()
+	return sh
+}

@@ -23,6 +23,9 @@ type Shared struct {
 	Opts Options
 
 	memo *igp.Memo
+	// base is an optional second memo layer consulted after memo — the
+	// modular sweep's cut memo (NewRegionShared), shared by every region.
+	base *igp.Memo
 	xm   xMemo
 }
 
@@ -91,6 +94,9 @@ func (sh *Shared) NewSimulator() *Simulator {
 	s := NewSimulator(sh.M, sh.Opts)
 	s.shared = sh
 	s.IGP.Seed(sh.memo)
+	if sh.base != nil {
+		s.IGP.AddSeed(sh.base)
+	}
 	return s
 }
 

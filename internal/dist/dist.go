@@ -24,6 +24,7 @@ package dist
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -34,6 +35,7 @@ import (
 	"hoyan/internal/behavior"
 	"hoyan/internal/config"
 	"hoyan/internal/core"
+	"hoyan/internal/igp"
 	"hoyan/internal/netaddr"
 	"hoyan/internal/topo"
 )
@@ -50,6 +52,17 @@ type Request struct {
 	// A hash the worker does not hold is a loud per-request error, never
 	// a silent fallback — two sessions over one pool must not cross-talk.
 	Model string `json:"model,omitempty"`
+	// Region restricts the pass to one region of the model's partition
+	// (modular verification): the worker runs a region-restricted
+	// simulation and answers with that region's verdicts only, holding
+	// O(WAN/regions) state instead of the whole model. Empty means
+	// monolithic simulation.
+	Region string `json:"region,omitempty"`
+	// Summary carries the home pass's exported cut summary on import
+	// passes (Region set, Summary non-nil); a home pass has Region set
+	// and Summary nil and gets the captured summary back in the
+	// Response.
+	Summary *core.CutSummary `json:"summary,omitempty"`
 }
 
 // RouterSummary is one router's verdict for the prefix.
@@ -66,6 +79,15 @@ type Response struct {
 	Prefix    string          `json:"prefix"`
 	Summaries []RouterSummary `json:"summaries,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Region echoes the request's region so the coordinator can detect
+	// stream desync between two passes of the same prefix.
+	Region string `json:"region,omitempty"`
+	// Summary is the cut summary captured by a home region pass.
+	Summary *core.CutSummary `json:"summary,omitempty"`
+	// Refused explains a modular refusal (core.UnsoundCut): the cut
+	// cannot express this prefix's behavior, deterministically — the
+	// coordinator must fall back to a monolithic pass, not retry.
+	Refused string `json:"refused,omitempty"`
 }
 
 // DefaultMaxShared is the default cap on resident assembled snapshots
@@ -83,6 +105,17 @@ type modelSource struct {
 	once  sync.Once
 	model *core.Model
 	err   error
+
+	// Modular state, derived on the first region request. The partition
+	// is immutable per model; the cut memos (one per failure budget, a
+	// handful in practice) are shared by every region Shared of the model
+	// and never evicted — they are what keeps a region's resident IGP
+	// state at O(region) instead of O(WAN).
+	ptOnce sync.Once
+	pt     *core.Partition
+	ptErr  error
+	cutMu  sync.Mutex
+	cuts   map[int]*igp.Memo // by k
 }
 
 func (ms *modelSource) assemble() (*core.Model, error) {
@@ -92,11 +125,44 @@ func (ms *modelSource) assemble() (*core.Model, error) {
 	return ms.model, ms.err
 }
 
+// partition derives (once) the model's region partition; an error means
+// the model has no usable cut and every region request for it fails
+// loudly — the coordinator's monolithic fallback handles it.
+func (ms *modelSource) partition() (*core.Partition, error) {
+	m, err := ms.assemble()
+	if err != nil {
+		return nil, err
+	}
+	ms.ptOnce.Do(func() {
+		ms.pt, ms.ptErr = core.NewPartition(m)
+	})
+	return ms.pt, ms.ptErr
+}
+
+// cutMemo returns the model's cross-region IGP memo for one failure
+// budget, building it on first use. Callers must have assembled the
+// model (partition() does).
+func (ms *modelSource) cutMemo(opts core.Options, pt *core.Partition) *igp.Memo {
+	ms.cutMu.Lock()
+	defer ms.cutMu.Unlock()
+	if ms.cuts == nil {
+		ms.cuts = map[int]*igp.Memo{}
+	}
+	if memo := ms.cuts[opts.K]; memo != nil {
+		return memo
+	}
+	memo := core.CutMemo(ms.model, opts, pt)
+	ms.cuts[opts.K] = memo
+	return memo
+}
+
 // sharedKey identifies one resident core.Shared: a model (by ModelHash)
-// at one failure budget.
+// at one failure budget, either globally (region "") or restricted to
+// one region of the model's partition.
 type sharedKey struct {
-	model string
-	k     int
+	model  string
+	k      int
+	region string
 }
 
 // sharedEntry is one LRU slot.
@@ -234,10 +300,10 @@ func (w *Worker) Close() error {
 	return nil
 }
 
-// sharedFor returns the Shared for (model hash, failure budget k),
-// assembling it on first use and touching its LRU slot. The returned key
-// is normalized (the empty default alias resolves to the default hash)
-// so per-connection simulators keyed by it never alias two models.
+// sharedFor returns the global Shared for (model hash, failure budget
+// k), assembling it on first use and touching its LRU slot. The returned
+// key is normalized (the empty default alias resolves to the default
+// hash) so per-connection simulators keyed by it never alias two models.
 func (w *Worker) sharedFor(model string, k int) (*core.Shared, sharedKey, error) {
 	w.sharedMu.Lock()
 	src := w.sources[model]
@@ -249,7 +315,52 @@ func (w *Worker) sharedFor(model string, k int) (*core.Shared, sharedKey, error)
 	if err != nil {
 		return nil, sharedKey{}, err
 	}
-	key := sharedKey{model: model, k: k}
+	opts := core.DefaultOptions()
+	opts.K = k
+	sh, key := w.cachedShared(sharedKey{model: model, k: k}, func() *core.Shared {
+		return core.NewShared(m, opts)
+	})
+	return sh, key, nil
+}
+
+// regionSharedFor is sharedFor restricted to one region of the model's
+// partition: the resident state is the region's Shared layered over the
+// model's cut memo, so a worker serving modular passes holds
+// O(WAN/regions) per region instead of O(WAN). Region entries share the
+// global LRU; a worker pool dedicated to a modular session should set
+// MaxShared to at least regions+2 to avoid thrashing.
+func (w *Worker) regionSharedFor(model string, k int, region string) (*core.Shared, sharedKey, *core.Partition, int, error) {
+	w.sharedMu.Lock()
+	src := w.sources[model]
+	w.sharedMu.Unlock()
+	if src == nil {
+		return nil, sharedKey{}, nil, -1, fmt.Errorf("dist: worker does not hold model %q (default is %s)", model, w.defaultHash)
+	}
+	m, err := src.assemble()
+	if err != nil {
+		return nil, sharedKey{}, nil, -1, err
+	}
+	pt, err := src.partition()
+	if err != nil {
+		return nil, sharedKey{}, nil, -1, err
+	}
+	ri := pt.RegionIndex(region)
+	if ri < 0 {
+		return nil, sharedKey{}, nil, -1, fmt.Errorf("dist: model %s has no region %q", ModelHash(src.net, src.snap), region)
+	}
+	opts := core.DefaultOptions()
+	opts.K = k
+	cut := src.cutMemo(opts, pt)
+	sh, key := w.cachedShared(sharedKey{model: model, k: k, region: region}, func() *core.Shared {
+		return core.NewRegionShared(m, opts, pt, ri, cut)
+	})
+	return sh, key, pt, ri, nil
+}
+
+// cachedShared looks key up in the LRU, building the Shared on a miss
+// and evicting the stalest entries beyond MaxShared. The returned key is
+// normalized to the default hash.
+func (w *Worker) cachedShared(key sharedKey, build func() *core.Shared) (*core.Shared, sharedKey) {
 	if key.model == "" {
 		key.model = w.defaultHash
 	}
@@ -258,11 +369,9 @@ func (w *Worker) sharedFor(model string, k int) (*core.Shared, sharedKey, error)
 	w.clock++
 	if e := w.shareds[key]; e != nil {
 		e.used = w.clock
-		return e.sh, key, nil
+		return e.sh, key
 	}
-	opts := core.DefaultOptions()
-	opts.K = k
-	sh := core.NewShared(m, opts)
+	sh := build()
 	w.shareds[key] = &sharedEntry{sh: sh, used: w.clock}
 	max := w.MaxShared
 	if max <= 0 {
@@ -274,14 +383,26 @@ func (w *Worker) sharedFor(model string, k int) (*core.Shared, sharedKey, error)
 		first := true
 		for k2, e2 := range w.shareds {
 			if first || e2.used < oldestUsed ||
-				(e2.used == oldestUsed && (k2.model < oldest.model || (k2.model == oldest.model && k2.k < oldest.k))) {
+				(e2.used == oldestUsed && lessKey(k2, oldest)) {
 				oldest, oldestUsed, first = k2, e2.used, false
 			}
 		}
 		delete(w.shareds, oldest)
 		w.evictions++
 	}
-	return sh, key, nil
+	return sh, key
+}
+
+// lessKey is the deterministic eviction tie-break across equally-stale
+// LRU entries.
+func lessKey(a, b sharedKey) bool {
+	if a.model != b.model {
+		return a.model < b.model
+	}
+	if a.k != b.k {
+		return a.k < b.k
+	}
+	return a.region < b.region
 }
 
 // connSim is one connection's simulator for a sharedKey; it is rebuilt
@@ -317,45 +438,95 @@ func (w *Worker) handle(conn net.Conn) {
 
 // answer runs one verification request against the model it names.
 func (w *Worker) answer(req Request, sims map[sharedKey]*connSim) Response {
-	resp := Response{Prefix: req.Prefix}
+	resp := Response{Prefix: req.Prefix, Region: req.Region}
 	p, err := netaddr.Parse(req.Prefix)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
+	}
+	if req.Region != "" {
+		return w.answerRegion(req, p, sims)
 	}
 	sh, key, err := w.sharedFor(req.Model, req.K)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
-	model := sh.M
-	cs := sims[key]
-	if cs == nil || cs.sh != sh {
-		cs = &connSim{sh: sh, sim: sh.NewSimulator()}
-		sims[key] = cs
-	}
+	cs := connSimFor(sims, key, sh)
 	res, err := cs.sim.Run(p)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
+	resp.Summaries = summarize(res, sh.M, p, req.K, nil)
+	return resp
+}
+
+// answerRegion runs one region-restricted pass: a home pass (no imported
+// summary) captures the prefix's cut summary into the response, an
+// import pass consumes the request's. A core refusal (*core.UnsoundCut)
+// answers with Refused, not Error — it is deterministic, so the
+// coordinator must fall back to monolithic simulation instead of
+// retrying.
+func (w *Worker) answerRegion(req Request, p netaddr.Prefix, sims map[sharedKey]*connSim) Response {
+	resp := Response{Prefix: req.Prefix, Region: req.Region}
+	sh, key, pt, ri, err := w.regionSharedFor(req.Model, req.K, req.Region)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	cs := connSimFor(sims, key, sh)
+	res, sum, err := cs.sim.RunRegion(p, pt, ri, req.Summary)
+	var uc *core.UnsoundCut
+	if errors.As(err, &uc) {
+		resp.Refused = uc.Reason
+		return resp
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	if req.Summary == nil {
+		resp.Summary = sum
+	}
+	resp.Summaries = summarize(res, sh.M, p, req.K, func(id topo.NodeID) bool {
+		return pt.RegionOf(id) == ri
+	})
+	return resp
+}
+
+// connSimFor returns the connection's simulator for a sharedKey,
+// rebuilding it when the key's Shared was evicted and re-assembled.
+func connSimFor(sims map[sharedKey]*connSim, key sharedKey, sh *core.Shared) *connSim {
+	cs := sims[key]
+	if cs == nil || cs.sh != sh {
+		cs = &connSim{sh: sh, sim: sh.NewSimulator()}
+		sims[key] = cs
+	}
+	return cs
+}
+
+// summarize folds a simulation result into per-router verdicts for every
+// BGP speaker keep admits (nil keeps all) in the model's node order.
+func summarize(res *core.Result, model *core.Model, p netaddr.Prefix, k int, keep func(topo.NodeID) bool) []RouterSummary {
+	var out []RouterSummary
+	pat := core.AnyRouteTo(p)
 	for _, node := range model.Net.Nodes() {
-		if model.Configs[node.ID].BGP == nil {
+		if model.Configs[node.ID].BGP == nil || (keep != nil && !keep(node.ID)) {
 			continue
 		}
-		pt := core.AnyRouteTo(p)
-		rs := RouterSummary{Router: node.Name, Reachable: res.Reachable(node.ID, pt)}
+		rs := RouterSummary{Router: node.Name, Reachable: res.Reachable(node.ID, pat)}
 		if rs.Reachable {
-			min, _ := res.MinFailuresToLose(node.ID, pt)
-			if min > req.K {
+			min, _ := res.MinFailuresToLose(node.ID, pat)
+			if min > k {
 				rs.MinFailures = -1
 			} else {
 				rs.MinFailures = min
 			}
 		}
-		resp.Summaries = append(resp.Summaries, rs)
+		out = append(out, rs)
 	}
-	return resp
+	return out
 }
 
 // Options tunes the coordinator's resilience policy. The zero value of
@@ -502,6 +673,20 @@ type Result struct {
 	// unfinished — at a coordinator crash and were re-queued by
 	// RunSession, the coordinator-death analogue of Requeued.
 	Redispatched int
+	// ModularPasses counts region-restricted passes RunModular dispatched
+	// (home + import); zero for every other entry point.
+	ModularPasses int
+	// ModularRefused counts class representatives RunModular fell back to
+	// monolithic passes for: the caller supplied no home region, or a
+	// worker refused the cut (core.UnsoundCut). Loud in the result, like
+	// ModularStats.Refused in the in-process sweep.
+	ModularRefused int
+
+	// cutSummaries and refusals record, by job key, the home-pass cut
+	// summaries and worker refusals of one runJobs round — RunModular's
+	// orchestration state, never exposed.
+	cutSummaries map[string]*core.CutSummary
+	refusals     map[string]string
 }
 
 // events from workers to the scheduler.
@@ -519,18 +704,40 @@ type event struct {
 	addr      string
 	job       *job
 	summaries []RouterSummary
+	cut       *core.CutSummary
+	refused   string
 	err       error
 }
 
 type job struct {
 	prefix string
-	hedge  bool
+	// region makes this a modular region pass (RunModular); empty is a
+	// monolithic pass. summary is the imported cut summary of an import
+	// pass (home passes carry region only).
+	region  string
+	summary *core.CutSummary
+	hedge   bool
 }
 
-// flight tracks one in-flight prefix.
+// key is the scheduler's settle key: modular passes of one prefix in
+// different regions are independent jobs.
+func (j *job) key() string {
+	if j.region == "" {
+		return j.prefix
+	}
+	return j.prefix + "@" + j.region
+}
+
+// clone returns a fresh dispatch copy (hedge flag cleared).
+func (j *job) clone() *job {
+	return &job{prefix: j.prefix, region: j.region, summary: j.summary}
+}
+
+// flight tracks one in-flight job.
 type flight struct {
 	since  time.Time
 	copies int
+	j      *job
 }
 
 // runHooks lets a Session observe the scheduler: dispatched fires when a
@@ -554,15 +761,29 @@ func (c *Coordinator) Run(prefixes []string, k int) (*Result, error) {
 }
 
 func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, error) {
+	jobs := make([]*job, 0, len(prefixes))
+	for _, p := range prefixes {
+		jobs = append(jobs, &job{prefix: p})
+	}
+	return c.runJobs(jobs, k, hooks)
+}
+
+// runJobs is the scheduler underneath every entry point: it fans the
+// jobs (monolithic prefixes or modular region passes, deduplicated by
+// settle key) out over the worker pool. All per-job state — in-flight
+// table, retries, failures, results — is keyed by job.key().
+func (c *Coordinator) runJobs(jobs []*job, k int, hooks *runHooks) (*Result, error) {
 	opts := c.Opts.withDefaults()
 	if len(c.Addrs) == 0 {
 		return nil, fmt.Errorf("dist: no workers")
 	}
-	uniq := dedup(prefixes)
+	uniq := dedupJobs(jobs)
 	out := &Result{
 		ByPrefix:     map[string][]RouterSummary{},
 		Assigned:     map[string]int{},
 		WorkerErrors: map[string][]string{},
+		cutSummaries: map[string]*core.CutSummary{},
+		refusals:     map[string]string{},
 	}
 	if len(uniq) == 0 {
 		return out, nil
@@ -597,44 +818,44 @@ func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, e
 	// Scheduler: owns the ready queue, in-flight table, and completion
 	// accounting. Single goroutine, so no locks on the Result.
 	ready := make([]*job, 0, len(uniq))
-	for _, p := range uniq {
-		ready = append(ready, &job{prefix: p})
+	for _, j := range uniq {
+		ready = append(ready, j.clone())
 	}
 	inflight := map[string]*flight{}
 	settled := map[string]bool{} // completed or permanently failed
 	dispatches := map[string]int{}
-	attempts := map[string]int{} // application-level failures per prefix
+	attempts := map[string]int{} // application-level failures per job key
 	remaining := len(uniq)
 	live := len(c.Addrs)
 	lastErr := map[string]string{}
 	var abortErr error // set by a failing done hook; stops the run
 
-	fail := func(p, why string) {
-		settled[p] = true
+	fail := func(key, why string) {
+		settled[key] = true
 		remaining--
-		delete(inflight, p)
-		out.Failed = append(out.Failed, PrefixFailure{Prefix: p, Dispatches: dispatches[p], LastError: why})
+		delete(inflight, key)
+		out.Failed = append(out.Failed, PrefixFailure{Prefix: key, Dispatches: dispatches[key], LastError: why})
 	}
 	// requeue puts a job back on the ready queue unless another copy is
 	// still in flight; it reports whether the job was re-queued.
 	requeue := func(j *job, err error) bool {
-		p := j.prefix
-		f := inflight[p]
+		key := j.key()
+		f := inflight[key]
 		if f != nil {
 			f.copies--
 		}
-		if settled[p] {
+		if settled[key] {
 			if f != nil && f.copies <= 0 {
-				delete(inflight, p)
+				delete(inflight, key)
 			}
 			return false
 		}
-		lastErr[p] = err.Error()
+		lastErr[key] = err.Error()
 		if f != nil && f.copies > 0 {
 			return false // a hedge copy is still running
 		}
-		delete(inflight, p)
-		ready = append(ready, &job{prefix: p})
+		delete(inflight, key)
+		ready = append(ready, j.clone())
 		return true
 	}
 
@@ -649,20 +870,22 @@ func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, e
 			send, next = handout, ready[0]
 		} else if opts.HedgeAfter > 0 {
 			// Oldest unsettled single-copy straggler; equal ages tie-break
-			// on prefix so hedge choice never follows map iteration order.
+			// on job key so hedge choice never follows map iteration order.
 			var hp string
 			var hf *flight
-			for p, f := range inflight {
-				if f.copies != 1 || settled[p] {
+			for key, f := range inflight {
+				if f.copies != 1 || settled[key] {
 					continue
 				}
-				if hf == nil || f.since.Before(hf.since) || (f.since.Equal(hf.since) && p < hp) {
-					hp, hf = p, f
+				if hf == nil || f.since.Before(hf.since) || (f.since.Equal(hf.since) && key < hp) {
+					hp, hf = key, f
 				}
 			}
 			if hf != nil {
 				if age := time.Since(hf.since); age >= opts.HedgeAfter {
-					send, next = handout, &job{prefix: hp, hedge: true}
+					next = hf.j.clone()
+					next.hedge = true
+					send = handout
 				} else {
 					hedgeTimer = time.NewTimer(opts.HedgeAfter - age)
 					timer = hedgeTimer.C
@@ -671,36 +894,37 @@ func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, e
 		}
 		select {
 		case send <- next:
-			dispatches[next.prefix]++
+			key := next.key()
+			dispatches[key]++
 			if hooks != nil && hooks.dispatched != nil && !next.hedge {
-				hooks.dispatched(next.prefix)
+				hooks.dispatched(key)
 			}
 			if next.hedge {
-				inflight[next.prefix].copies++
+				inflight[key].copies++
 				out.Hedged++
 			} else {
 				ready = ready[1:]
-				if f := inflight[next.prefix]; f != nil {
+				if f := inflight[key]; f != nil {
 					f.copies++
 				} else {
-					inflight[next.prefix] = &flight{since: time.Now(), copies: 1}
+					inflight[key] = &flight{since: time.Now(), copies: 1, j: next}
 				}
 			}
 		case ev := <-events:
 			switch ev.kind {
 			case evDone:
-				p := ev.job.prefix
-				if f := inflight[p]; f != nil {
+				key := ev.job.key()
+				if f := inflight[key]; f != nil {
 					f.copies--
 					if f.copies <= 0 {
-						delete(inflight, p)
+						delete(inflight, key)
 					}
 				}
-				if settled[p] {
+				if settled[key] {
 					break // a hedge copy already won
 				}
 				if hooks != nil && hooks.done != nil {
-					if err := hooks.done(p, ev.summaries); err != nil {
+					if err := hooks.done(key, ev.summaries); err != nil {
 						// The journal refused the completion (crash
 						// injection or a write failure): stop without
 						// settling, so the prefix is neither reported
@@ -709,38 +933,48 @@ func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, e
 						break
 					}
 				}
-				settled[p] = true
+				settled[key] = true
 				remaining--
-				delete(inflight, p)
-				out.ByPrefix[p] = ev.summaries
-				out.Assigned[ev.addr]++
-			case evFail:
-				p := ev.job.prefix
-				out.WorkerErrors[ev.addr] = append(out.WorkerErrors[ev.addr],
-					fmt.Sprintf("%s: %v", p, ev.err))
-				if f := inflight[p]; f != nil {
-					f.copies--
-					if f.copies <= 0 {
-						delete(inflight, p)
+				delete(inflight, key)
+				if ev.refused != "" {
+					// A modular refusal is a completed answer ("this cut
+					// cannot express the prefix"), never retried; the
+					// caller falls back to a monolithic pass.
+					out.refusals[key] = ev.refused
+				} else {
+					out.ByPrefix[key] = ev.summaries
+					if ev.cut != nil {
+						out.cutSummaries[key] = ev.cut
 					}
 				}
-				if settled[p] {
+				out.Assigned[ev.addr]++
+			case evFail:
+				key := ev.job.key()
+				out.WorkerErrors[ev.addr] = append(out.WorkerErrors[ev.addr],
+					fmt.Sprintf("%s: %v", key, ev.err))
+				if f := inflight[key]; f != nil {
+					f.copies--
+					if f.copies <= 0 {
+						delete(inflight, key)
+					}
+				}
+				if settled[key] {
 					break
 				}
-				lastErr[p] = ev.err.Error()
-				attempts[p]++
-				if attempts[p] >= opts.MaxAttempts {
-					fail(p, ev.err.Error())
+				lastErr[key] = ev.err.Error()
+				attempts[key]++
+				if attempts[key] >= opts.MaxAttempts {
+					fail(key, ev.err.Error())
 					break
 				}
-				if f := inflight[p]; f == nil || f.copies <= 0 {
-					delete(inflight, p)
-					ready = append(ready, &job{prefix: p})
+				if f := inflight[key]; f == nil || f.copies <= 0 {
+					delete(inflight, key)
+					ready = append(ready, ev.job.clone())
 					out.Retried++
 				}
 			case evRequeue:
 				out.WorkerErrors[ev.addr] = append(out.WorkerErrors[ev.addr],
-					fmt.Sprintf("%s: %v", ev.job.prefix, ev.err))
+					fmt.Sprintf("%s: %v", ev.job.key(), ev.err))
 				if requeue(ev.job, ev.err) {
 					out.Requeued++
 				}
@@ -774,13 +1008,13 @@ func (c *Coordinator) run(prefixes []string, k int, hooks *runHooks) (*Result, e
 	}
 
 	// Whatever never settled (the pool died first) is a failure.
-	for _, p := range uniq {
-		if !settled[p] {
-			why := lastErr[p]
+	for _, j := range uniq {
+		if key := j.key(); !settled[key] {
+			why := lastErr[key]
 			if why == "" {
 				why = "no live workers"
 			}
-			fail(p, why)
+			fail(key, why)
 		}
 	}
 	sort.Slice(out.Failed, func(i, j int) bool { return out.Failed[i].Prefix < out.Failed[j].Prefix })
@@ -866,6 +1100,249 @@ func (c *Coordinator) RunClasses(classes [][]string, k int) (*Result, error) {
 	return expandClasses(res, reps, members, runErr)
 }
 
+// ModularClass is one prefix behavior class for RunModular: the member
+// prefixes with the representative first (core.Model.Classes order), and
+// the name of the region originating the class's family
+// (core.Partition.FamilyHome). An empty Home marks a class the caller
+// already refused — origins spanning regions, say — and is dispatched as
+// one monolithic pass instead.
+type ModularClass struct {
+	Members []string
+	Home    string
+}
+
+// RunModular verifies prefix behavior classes region by region: each
+// representative runs as one home pass in its family's region plus one
+// import pass per other region, stitched through the home pass's cut
+// summary, so a worker serving the sweep holds per-region state instead
+// of the whole WAN (its MaxShared should be at least regions+2). Workers
+// that refuse a cut (core.UnsoundCut — oscillation damping, re-export
+// across a second cut) demote their representative to a monolithic
+// pass, counted loudly in ModularRefused; refusal is deterministic, so
+// it is a verdict about the cut, never retried.
+//
+// Per-router summaries are returned sorted by router name — region
+// passes answer in region order, so the monolithic node order cannot be
+// reconstructed without the model.
+func (c *Coordinator) RunModular(classes []ModularClass, regions []string, k int) (*Result, error) {
+	var stringClasses [][]string
+	for _, cl := range classes {
+		stringClasses = append(stringClasses, cl.Members)
+	}
+	reps, members, _ := classParts(stringClasses)
+	homes := map[string]string{}
+	for _, cl := range classes {
+		if len(cl.Members) > 0 {
+			if _, ok := homes[cl.Members[0]]; !ok {
+				homes[cl.Members[0]] = cl.Home
+			}
+		}
+	}
+
+	final := &Result{
+		ByPrefix:     map[string][]RouterSummary{},
+		Assigned:     map[string]int{},
+		WorkerErrors: map[string][]string{},
+		Classes:      len(reps),
+	}
+	failedReps := map[string]PrefixFailure{}
+	// markFailed folds one round's failures (keyed by job key) back onto
+	// representatives; a rep's first failure wins and drops it from every
+	// later round.
+	markFailed := func(res *Result, repOf map[string]string) {
+		for _, f := range res.Failed {
+			rep := repOf[f.Prefix]
+			if rep == "" {
+				rep = f.Prefix
+			}
+			if _, dup := failedReps[rep]; !dup {
+				f.Prefix = rep
+				failedReps[rep] = f
+			}
+		}
+	}
+
+	// Round 1: home passes; classes with no home run monolithically now.
+	var r1 []*job
+	repOf := map[string]string{}
+	mono := map[string]bool{} // reps settled by a monolithic pass
+	for _, rep := range reps {
+		j := &job{prefix: rep, region: homes[rep]}
+		if j.region == "" {
+			mono[rep] = true
+			final.ModularRefused++
+		} else {
+			final.ModularPasses++
+		}
+		repOf[j.key()] = rep
+		r1 = append(r1, j)
+	}
+	res1, err := c.runJobs(r1, k, nil)
+	if res1 == nil {
+		return nil, err
+	}
+	final.absorb(res1)
+	markFailed(res1, repOf)
+
+	// Classify round 1: collect home verdicts and summaries; refusals —
+	// and home passes that somehow produced no summary — demote to a
+	// monolithic pass in round 2.
+	verdicts := map[string][]RouterSummary{}
+	sums := map[string]*core.CutSummary{}
+	var demoted []string
+	for _, rep := range reps {
+		if mono[rep] {
+			if s, ok := res1.ByPrefix[rep]; ok {
+				final.ByPrefix[rep] = sortedByRouter(s)
+			}
+			continue
+		}
+		key := rep + "@" + homes[rep]
+		if _, bad := failedReps[rep]; bad {
+			continue
+		}
+		if _, refused := res1.refusals[key]; refused || res1.cutSummaries[key] == nil {
+			demoted = append(demoted, rep)
+			continue
+		}
+		verdicts[rep] = append(verdicts[rep], res1.ByPrefix[key]...)
+		sums[rep] = res1.cutSummaries[key]
+	}
+
+	// Round 2: import passes for every summarized rep, monolithic passes
+	// for round-1 demotions.
+	var r2 []*job
+	repOf = map[string]string{}
+	for _, rep := range reps {
+		if sums[rep] == nil {
+			continue
+		}
+		for _, rg := range regions {
+			if rg == homes[rep] {
+				continue
+			}
+			j := &job{prefix: rep, region: rg, summary: sums[rep]}
+			repOf[j.key()] = rep
+			r2 = append(r2, j)
+			final.ModularPasses++
+		}
+	}
+	for _, rep := range demoted {
+		mono[rep] = true
+		final.ModularRefused++
+		repOf[rep] = rep
+		r2 = append(r2, &job{prefix: rep})
+	}
+	res2, err2 := c.runJobs(r2, k, nil)
+	if res2 == nil {
+		return nil, err2
+	}
+	final.absorb(res2)
+	markFailed(res2, repOf)
+
+	// Classify round 2: an import-pass refusal (a second-cut leak only an
+	// import pass can see) poisons the rep's whole modular result — drop
+	// its region verdicts and fall back in round 3.
+	demoted = demoted[:0]
+	for _, rep := range reps {
+		if sums[rep] == nil || mono[rep] {
+			if mono[rep] && !final.hasPrefix(rep) {
+				if s, ok := res2.ByPrefix[rep]; ok {
+					final.ByPrefix[rep] = sortedByRouter(s)
+				}
+			}
+			continue
+		}
+		if _, bad := failedReps[rep]; bad {
+			continue
+		}
+		refused := false
+		for _, rg := range regions {
+			if rg == homes[rep] {
+				continue
+			}
+			key := rep + "@" + rg
+			if _, r := res2.refusals[key]; r {
+				refused = true
+				break
+			}
+		}
+		if refused {
+			demoted = append(demoted, rep)
+			continue
+		}
+		for _, rg := range regions {
+			if rg == homes[rep] {
+				continue
+			}
+			verdicts[rep] = append(verdicts[rep], res2.ByPrefix[rep+"@"+rg]...)
+		}
+		final.ByPrefix[rep] = sortedByRouter(verdicts[rep])
+	}
+
+	// Round 3: monolithic fallback for import-pass refusals.
+	if len(demoted) > 0 {
+		var r3 []*job
+		repOf = map[string]string{}
+		for _, rep := range demoted {
+			mono[rep] = true
+			final.ModularRefused++
+			repOf[rep] = rep
+			r3 = append(r3, &job{prefix: rep})
+		}
+		res3, err3 := c.runJobs(r3, k, nil)
+		if res3 == nil {
+			return nil, err3
+		}
+		final.absorb(res3)
+		markFailed(res3, repOf)
+		for _, rep := range demoted {
+			if s, ok := res3.ByPrefix[rep]; ok {
+				final.ByPrefix[rep] = sortedByRouter(s)
+			}
+		}
+	}
+
+	for _, rep := range reps {
+		if f, bad := failedReps[rep]; bad {
+			delete(final.ByPrefix, rep)
+			final.Failed = append(final.Failed, f)
+		}
+	}
+	sort.Slice(final.Failed, func(i, j int) bool { return final.Failed[i].Prefix < final.Failed[j].Prefix })
+	opts := c.Opts.withDefaults()
+	var runErr error
+	if len(final.Failed) > 0 && !opts.AllowPartial {
+		runErr = fmt.Errorf("dist: modular run failed") // expandClasses rewrites with member counts
+	}
+	return expandClasses(final, reps, members, runErr)
+}
+
+// absorb merges one round's pool accounting into the aggregate result.
+func (r *Result) absorb(o *Result) {
+	for a, n := range o.Assigned {
+		r.Assigned[a] += n
+	}
+	for a, es := range o.WorkerErrors {
+		r.WorkerErrors[a] = append(r.WorkerErrors[a], es...)
+	}
+	r.Requeued += o.Requeued
+	r.Retried += o.Retried
+	r.Hedged += o.Hedged
+}
+
+func (r *Result) hasPrefix(p string) bool {
+	_, ok := r.ByPrefix[p]
+	return ok
+}
+
+// sortedByRouter returns the summaries ordered by router name.
+func sortedByRouter(s []RouterSummary) []RouterSummary {
+	out := append([]RouterSummary(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Router < out[j].Router })
+	return out
+}
+
 // runWorkerLoop drives one worker address: dial (with backoff), pull
 // jobs, and convert connection deaths into re-queues. It abandons the
 // worker after MaxConnFailures consecutive connection-level failures.
@@ -938,7 +1415,7 @@ func runWorkerLoop(wg *sync.WaitGroup, addr string, k int, opts Options, rng *ra
 		case j = <-handout:
 		}
 
-		summaries, appErr, connErr := doRequest(conn, enc, dec, j, k, opts)
+		resp, appErr, connErr := doRequest(conn, enc, dec, j, k, opts)
 		if connErr != nil {
 			// The connection died with the job in hand: give the job
 			// back, then reconnect (with backoff) or give up.
@@ -966,7 +1443,7 @@ func runWorkerLoop(wg *sync.WaitGroup, addr string, k int, opts Options, rng *ra
 			send(event{kind: evFail, job: j, err: appErr})
 			continue
 		}
-		send(event{kind: evDone, job: j, summaries: summaries})
+		send(event{kind: evDone, job: j, summaries: resp.Summaries, cut: resp.Summary, refused: resp.Refused})
 	}
 }
 
@@ -974,26 +1451,27 @@ func runWorkerLoop(wg *sync.WaitGroup, addr string, k int, opts Options, rng *ra
 // connErr non-nil means the connection is unusable (the stream may be
 // desynchronized); appErr non-nil means the worker answered with an
 // error and the connection is still good.
-func doRequest(conn net.Conn, enc *json.Encoder, dec *json.Decoder, j *job, k int, opts Options) (summaries []RouterSummary, appErr, connErr error) {
+func doRequest(conn net.Conn, enc *json.Encoder, dec *json.Decoder, j *job, k int, opts Options) (resp Response, appErr, connErr error) {
 	if opts.RequestTimeout > 0 {
 		conn.SetDeadline(time.Now().Add(opts.RequestTimeout))
 	}
-	if err := enc.Encode(Request{Prefix: j.prefix, K: k, Session: opts.Session, Model: opts.ModelHash}); err != nil {
-		return nil, nil, err
+	if err := enc.Encode(Request{Prefix: j.prefix, K: k, Session: opts.Session, Model: opts.ModelHash,
+		Region: j.region, Summary: j.summary}); err != nil {
+		return resp, nil, err
 	}
-	var resp Response
 	if err := dec.Decode(&resp); err != nil {
-		return nil, nil, err
+		return resp, nil, err
 	}
-	if resp.Prefix != j.prefix {
+	if resp.Prefix != j.prefix || resp.Region != j.region {
 		// Stream desync (e.g. a late answer to a timed-out request):
 		// the connection can no longer be trusted.
-		return nil, nil, fmt.Errorf("response for %q to request for %q", resp.Prefix, j.prefix)
+		return resp, nil, fmt.Errorf("response for %q@%q to request for %q@%q",
+			resp.Prefix, resp.Region, j.prefix, j.region)
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("%s", resp.Error), nil
+		return resp, fmt.Errorf("%s", resp.Error), nil
 	}
-	return resp.Summaries, nil, nil
+	return resp, nil, nil
 }
 
 func dedup(ps []string) []string {
@@ -1003,6 +1481,19 @@ func dedup(ps []string) []string {
 		if !seen[p] {
 			seen[p] = true
 			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dedupJobs drops jobs whose settle key repeats, keeping input order.
+func dedupJobs(jobs []*job) []*job {
+	seen := map[string]bool{}
+	var out []*job
+	for _, j := range jobs {
+		if key := j.key(); !seen[key] {
+			seen[key] = true
+			out = append(out, j)
 		}
 	}
 	return out

@@ -64,6 +64,17 @@ func Full() Params {
 		MANsPerRegion: 4, PeersPerRegion: 5, PrefixesPerPeer: 4, ExtraCoreLinks: 10, WANAS: 64500}
 }
 
+// XL is the paper-scale WAN: O(1000) routers across 24 regions and
+// O(10k) service prefixes (Table 3's full deployment rather than the
+// Table 4/5 subnets). At this size a monolithic sweep's working set is
+// the point of comparison for modular verification — every region adds
+// state a flat simulation must hold at once, while a per-region pass
+// only ever holds one region plus the cut summaries.
+func XL() Params {
+	return Params{Seed: 4, Regions: 24, CoresPerRegion: 3, PEsPerRegion: 24,
+		MANsPerRegion: 8, PeersPerRegion: 8, PrefixesPerPeer: 52, ExtraCoreLinks: 24, WANAS: 64500}
+}
+
 // WAN is a generated network: topology plus configuration snapshot plus
 // bookkeeping for fault injection.
 type WAN struct {
@@ -131,6 +142,18 @@ func Generate(p Params) (*WAN, error) {
 		manIDs = append(manIDs, ms)
 	}
 
+	// addUniqueLink skips links that already exist instead of creating a
+	// parallel edge: a parallel link would get its own aliveness variable,
+	// so "the pe-core link fails" would silently stop meaning what it says.
+	// Callers draw every rng value before deciding, so deduplication never
+	// shifts the random stream and seeds stay reproducible.
+	addUniqueLink := func(a, b topo.NodeID, weight uint32) {
+		if _, ok := w.Net.LinkBetween(a, b); ok {
+			return
+		}
+		w.Net.MustAddLink(a, b, weight)
+	}
+
 	// Intra-region links: cores pairwise, every PE/MAN to two cores, a few
 	// PE-PE chords.
 	for r := 0; r < p.Regions; r++ {
@@ -141,8 +164,12 @@ func Generate(p Params) (*WAN, error) {
 			}
 		}
 		for i, pe := range peIDs[r] {
-			w.Net.MustAddLink(pe, cs[i%len(cs)], 10+uint32(rng.Intn(10)))
-			w.Net.MustAddLink(pe, cs[(i+1)%len(cs)], 10+uint32(rng.Intn(10)))
+			w1 := 10 + uint32(rng.Intn(10))
+			w2 := 10 + uint32(rng.Intn(10))
+			w.Net.MustAddLink(pe, cs[i%len(cs)], w1)
+			// A single-core region has only one uplink target; the old code
+			// doubled the same pe-core adjacency here.
+			addUniqueLink(pe, cs[(i+1)%len(cs)], w2)
 		}
 		for i, man := range manIDs[r] {
 			w.Net.MustAddLink(man, cs[i%len(cs)], 20+uint32(rng.Intn(10)))
@@ -154,13 +181,19 @@ func Generate(p Params) (*WAN, error) {
 			w.Net.MustAddLink(peIDs[r][0], peIDs[r][1], 30)
 		}
 	}
-	// Inter-region: core ring plus random chords (asymmetric mesh).
+	// Inter-region: core ring plus random chords (asymmetric mesh). With
+	// two regions the second traversal would re-add the same pair, so only
+	// r=0 links up (skipping, rather than deduplicating, keeps the rng
+	// stream of the Regions==2 presets unchanged); a single region has no
+	// ring at all.
 	for r := 0; r < p.Regions; r++ {
 		next := (r + 1) % p.Regions
 		if p.Regions > 1 && !(p.Regions == 2 && r == 1) {
-			w.Net.MustAddLink(coreIDs[r][0], coreIDs[next][0], 40+uint32(rng.Intn(20)))
+			w1 := 40 + uint32(rng.Intn(20))
+			addUniqueLink(coreIDs[r][0], coreIDs[next][0], w1)
 			if p.CoresPerRegion > 1 {
-				w.Net.MustAddLink(coreIDs[r][1], coreIDs[next][1%p.CoresPerRegion], 40+uint32(rng.Intn(20)))
+				w2 := 40 + uint32(rng.Intn(20))
+				addUniqueLink(coreIDs[r][1], coreIDs[next][1], w2)
 			}
 		}
 	}
@@ -171,7 +204,10 @@ func Generate(p Params) (*WAN, error) {
 		}
 		a := coreIDs[r1][rng.Intn(p.CoresPerRegion)]
 		b := coreIDs[r2][rng.Intn(p.CoresPerRegion)]
-		w.Net.MustAddLink(a, b, 40+uint32(rng.Intn(30)))
+		// Chords are drawn independently of the ring, so they can land on a
+		// pair that is already connected; deduplicate instead of stacking a
+		// parallel edge.
+		addUniqueLink(a, b, 40+uint32(rng.Intn(30)))
 	}
 
 	// External peers: each attaches to two PEs of its region and announces

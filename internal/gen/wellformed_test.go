@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"testing"
+
+	"hoyan/internal/dist"
+	"hoyan/internal/topo"
+)
+
+// TestWellFormedAcrossRegionCounts sweeps the region knob through every
+// small count — including the degenerate single-region WAN and the
+// two-region ring that needs the half-traversal special case — and with
+// single-core regions in the mix (regions 3, 6, 9 get CoresPerRegion=1,
+// which used to double the pe-core uplink). A well-formed topology has
+// no self links and no parallel edges: each adjacency owns exactly one
+// aliveness variable, so failure scenarios mean what they say.
+func TestWellFormedAcrossRegionCounts(t *testing.T) {
+	for regions := 1; regions <= 9; regions++ {
+		p := Params{Seed: 11, Regions: regions, CoresPerRegion: 1 + regions%3,
+			PEsPerRegion: 4, MANsPerRegion: 2, PeersPerRegion: 2,
+			PrefixesPerPeer: 2, ExtraCoreLinks: 3, WANAS: 64500}
+		w, err := Generate(p)
+		if err != nil {
+			t.Fatalf("regions=%d: %v", regions, err)
+		}
+		seen := map[[2]topo.NodeID]string{}
+		for _, l := range w.Net.Links() {
+			if l.A == l.B {
+				t.Fatalf("regions=%d: self link %s", regions, l.Name)
+			}
+			a, b := l.A, l.B
+			if a > b {
+				a, b = b, a
+			}
+			if prev, dup := seen[[2]topo.NodeID{a, b}]; dup {
+				t.Fatalf("regions=%d: parallel links %s and %s", regions, prev, l.Name)
+			}
+			seen[[2]topo.NodeID{a, b}] = l.Name
+		}
+		for _, n := range w.Net.Nodes() {
+			if n.Region == "" {
+				t.Fatalf("regions=%d: node %s has no region (breaks partitioning)", regions, n.Name)
+			}
+		}
+	}
+}
+
+// TestByteIdenticalAcrossRuns generates each preset twice and compares
+// the full model hash (nodes, links, and written configurations — the
+// same digest the distribution layer keys snapshots by). Length-based
+// equality is not enough: benchmarks and the modular/monolithic identity
+// tests rely on regeneration producing the byte-identical WAN.
+func TestByteIdenticalAcrossRuns(t *testing.T) {
+	presets := []struct {
+		name   string
+		params Params
+	}{
+		{"small", Small()}, {"medium", Medium()}, {"full", Full()}, {"xl", XL()},
+	}
+	for _, tc := range presets {
+		w1 := mustGen(t, tc.params)
+		w2 := mustGen(t, tc.params)
+		h1 := dist.ModelHash(w1.Net, w1.Snap)
+		h2 := dist.ModelHash(w2.Net, w2.Snap)
+		if h1 != h2 {
+			t.Fatalf("%s: same Params produced different models: %s vs %s", tc.name, h1, h2)
+		}
+	}
+}
+
+// TestXLShape pins the paper-scale preset to its O(1000) routers /
+// O(10k) prefixes contract.
+func TestXLShape(t *testing.T) {
+	w := mustGen(t, XL())
+	if n := w.Net.NumNodes(); n < 1000 {
+		t.Fatalf("xl preset has %d routers, want O(1000)", n)
+	}
+	want := 24 * 8 * 52
+	if got := len(w.Prefixes()); got != want {
+		t.Fatalf("xl preset has %d prefixes, want %d", got, want)
+	}
+	regions := map[string]bool{}
+	for _, n := range w.Net.Nodes() {
+		regions[n.Region] = true
+	}
+	if len(regions) != 24 {
+		t.Fatalf("xl preset spans %d regions, want 24", len(regions))
+	}
+}

@@ -71,11 +71,17 @@ type Engine struct {
 	cfg  []nodeISIS
 	ribs map[topo.NodeID]map[topo.NodeID][]Entry // dst -> node -> entries
 
-	// Seeded cross-engine memo (see memo.go). memoConds caches the
-	// one-time Import of the memo's conditions into this engine's factory.
-	memo       *Memo
-	memoConds  []logic.F
-	memoLoaded bool
+	// Seeded cross-engine memos (see memo.go), consulted in layer order.
+	// Each layer caches the one-time Import of its memo's conditions into
+	// this engine's factory.
+	memos []*seededMemo
+}
+
+// seededMemo is one seeded memo layer plus its lazily-imported conditions.
+type seededMemo struct {
+	memo   *Memo
+	conds  []logic.F
+	loaded bool
 }
 
 // New builds an engine. configs maps node ID to the device configuration

@@ -52,10 +52,33 @@ type memoEntry struct {
 // engine are simply absent and fall back to local propagation in seeded
 // engines.
 func (e *Engine) Snapshot() *Memo {
+	return e.snapshot(false)
+}
+
+// SnapshotLocal is Snapshot minus the destinations a seeded memo layer
+// already covers: only RIBs this engine propagated itself are exported.
+// Layered seeding uses it so a region memo never duplicates the cut
+// memo it sits on top of.
+func (e *Engine) SnapshotLocal() *Memo {
+	return e.snapshot(true)
+}
+
+func (e *Engine) snapshot(localOnly bool) *Memo {
+	seeded := func(dst topo.NodeID) bool {
+		for _, sm := range e.memos {
+			if _, ok := sm.memo.dsts[dst]; ok {
+				return true
+			}
+		}
+		return false
+	}
 	m := &Memo{dsts: make(map[topo.NodeID]memoRIB, len(e.ribs))}
 	var roots []logic.F
 	dsts := make([]topo.NodeID, 0, len(e.ribs))
 	for dst := range e.ribs {
+		if localOnly && seeded(dst) {
+			continue
+		}
 		dsts = append(dsts, dst)
 	}
 	slices.Sort(dsts) // deterministic export order
@@ -91,43 +114,55 @@ func (e *Engine) Snapshot() *Memo {
 func (m *Memo) NumDestinations() int { return len(m.dsts) }
 
 // Seed installs the memo as a read-through source for this engine's RIB
-// lookups. Destinations present in the memo are materialized on demand
-// (conditions imported into e's factory once, on first use); others
-// still run propagate locally. Seeding after RIB calls is allowed — the
-// local cache wins for destinations already computed.
+// lookups, replacing any previously seeded layers. Destinations present
+// in the memo are materialized on demand (conditions imported into e's
+// factory once, on first use); others still run propagate locally.
+// Seeding after RIB calls is allowed — the local cache wins for
+// destinations already computed.
 func (e *Engine) Seed(m *Memo) {
-	e.memo = m
-	e.memoConds = nil
-	e.memoLoaded = false
+	e.memos = e.memos[:0]
+	e.AddSeed(m)
 }
 
-// fromMemo materializes dst's RIB from the seeded memo, or reports that
-// the memo does not cover dst.
+// AddSeed layers an additional memo under the already-seeded ones:
+// earlier layers win for destinations they cover, later layers fill the
+// gaps. Modular verification uses this to combine one long-lived cut
+// memo (destinations on inter-region sessions) with a per-region memo,
+// without merging snapshots.
+func (e *Engine) AddSeed(m *Memo) {
+	if m == nil {
+		return
+	}
+	e.memos = append(e.memos, &seededMemo{memo: m})
+}
+
+// fromMemo materializes dst's RIB from the first seeded memo layer that
+// covers it, or reports that no layer does.
 func (e *Engine) fromMemo(dst topo.NodeID) (map[topo.NodeID][]Entry, bool) {
-	if e.memo == nil {
-		return nil, false
-	}
-	mr, ok := e.memo.dsts[dst]
-	if !ok {
-		return nil, false
-	}
-	if !e.memoLoaded {
-		e.memoConds = e.memo.portable.Import(e.f)
-		e.memoLoaded = true
-	}
-	rib := make(map[topo.NodeID][]Entry, len(mr.nodes))
-	for i, n := range mr.nodes {
-		src := mr.entries[i]
-		out := make([]Entry, len(src))
-		for j, me := range src {
-			out[j] = Entry{
-				Weight: me.weight,
-				Path:   me.path,
-				Cond:   e.memoConds[me.cond],
-				Level:  me.level,
-			}
+	for _, sm := range e.memos {
+		mr, ok := sm.memo.dsts[dst]
+		if !ok {
+			continue
 		}
-		rib[n] = out
+		if !sm.loaded {
+			sm.conds = sm.memo.portable.Import(e.f)
+			sm.loaded = true
+		}
+		rib := make(map[topo.NodeID][]Entry, len(mr.nodes))
+		for i, n := range mr.nodes {
+			src := mr.entries[i]
+			out := make([]Entry, len(src))
+			for j, me := range src {
+				out[j] = Entry{
+					Weight: me.weight,
+					Path:   me.path,
+					Cond:   sm.conds[me.cond],
+					Level:  me.level,
+				}
+			}
+			rib[n] = out
+		}
+		return rib, true
 	}
-	return rib, true
+	return nil, false
 }

@@ -54,6 +54,10 @@ type SweepReport struct {
 	// Delta is the model delta an incremental sweep acted on; nil for
 	// cold sweeps (and for baseline-vs-NoClasses runs, which cannot plan).
 	Delta *core.ModelDelta
+	// Modular carries the region-partition counters of a modular sweep
+	// (Options.Modular), including every fallback to monolithic
+	// simulation; nil for monolithic sweeps.
+	Modular *ModularStats
 }
 
 // Sweep verifies every announced prefix at every BGP router, sharded over
@@ -114,6 +118,11 @@ func (n *Network) sweep(opts Options, workers int, capture bool) (*SweepReport, 
 	}
 	if capture && opts.NoClasses {
 		return nil, nil, fmt.Errorf("hoyan: baseline capture requires behavior classes (NoClasses is set)")
+	}
+	if capture && opts.Modular {
+		// A class record needs one whole-WAN Result (taint set, portable
+		// conditions over every BGP speaker); region passes cannot supply it.
+		return nil, nil, fmt.Errorf("hoyan: baseline capture requires monolithic simulation (Modular is set)")
 	}
 	reg := opts.Profiles
 	if reg == nil {
@@ -245,7 +254,12 @@ func (n *Network) sweep(opts Options, workers int, capture bool) (*SweepReport, 
 		err           error
 	}
 	results := make([]shardResult, workers)
-	if len(jobs) > 0 {
+	switch {
+	case len(jobs) > 0 && opts.Modular:
+		if err := n.sweepModular(model, jobs, audit, opts, copts, workers, resetEvery, rep); err != nil {
+			return nil, nil, err
+		}
+	case len(jobs) > 0:
 		shared := core.NewShared(model, copts)
 		var wg sync.WaitGroup
 		for wkr := 0; wkr < workers; wkr++ {
@@ -472,6 +486,14 @@ func (r *SweepReport) String() string {
 	}
 	if r.Invalidation != nil && r.Invalidation.ReplaysAudited > 0 {
 		s += fmt.Sprintf(", %d replays audited", r.Invalidation.ReplaysAudited)
+	}
+	if r.Modular != nil {
+		switch {
+		case r.Modular.Fallback:
+			s += ", modular fallback: no usable partition"
+		default:
+			s += fmt.Sprintf(", modular: %d regions, %d passes, %d refusals", r.Modular.Regions, r.Modular.Passes, r.Modular.Refused)
+		}
 	}
 	return s + ")"
 }
