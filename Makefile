@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-compare fuzz-smoke chaos scale-smoke
+.PHONY: build test vet lint vet-configs race check bench bench-compare fuzz-smoke chaos scale-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ vet:
 # analysis".
 lint:
 	$(GO) run ./cmd/hoyanlint ./...
+
+# vet-configs runs the config-level static analyzers (hoyan vet, see
+# DESIGN.md "Config vet") over the committed example network. It must be
+# finding-free: the corpus is the analyzers' false-positive contract in
+# CI, the config-plane twin of `make lint`.
+vet-configs:
+	$(GO) run ./cmd/hoyan vet -dir examples/networks/small
 
 race:
 	$(GO) test -race ./...
@@ -72,4 +79,4 @@ fuzz-smoke:
 # race detector and the benchmark smoke. The dist/collector chaos tests
 # run here too — they are deterministic (seeded faultnet, byte-budget
 # fault schedules), so no flake allowance.
-check: vet lint race chaos scale-smoke bench bench-compare
+check: vet lint vet-configs race chaos scale-smoke bench bench-compare

@@ -8,8 +8,19 @@ go build ./...
 go vet ./...
 # hoyanlint is the project's own analysis suite (cmd/hoyanlint):
 # determinism, formula-safety and hot-path invariants. Unsuppressed
-# diagnostics fail CI.
-go run ./cmd/hoyanlint ./...
+# diagnostics fail CI. The -json report is archived as the stable
+# machine-readable failure summary (same schema family as
+# `hoyan vet -json`) and echoed on failure.
+lint_report="${TMPDIR:-/tmp}/hoyanlint.json"
+if ! go run ./cmd/hoyanlint -json ./... >"$lint_report"; then
+	echo "hoyanlint findings ($lint_report):" >&2
+	cat "$lint_report" >&2
+	exit 1
+fi
+# Config-plane static analysis: hoyan vet over the committed example
+# network must be finding-free — the analyzers' false-positive contract
+# (see DESIGN.md, "Config vet").
+go run ./cmd/hoyan vet -dir examples/networks/small
 # govulncheck is advisory when present: the container has no module
 # network access, so absence or failure must not gate the build.
 if command -v govulncheck >/dev/null 2>&1; then

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestDirectionVetMetrics pins how the BENCH_PR10.json vet_* groups are
+// judged: timings and per-class costs regress upward, the speedup
+// regresses downward, and the counts (findings, advisories, the
+// extrapolation honesty flag) are reported but never judged — a new
+// analyzer legitimately changes them.
+func TestDirectionVetMetrics(t *testing.T) {
+	cases := []struct {
+		metric string
+		want   int
+	}{
+		{"seconds", -1},
+		{"assemble_seconds", -1},
+		{"us_per_class", -1},
+		{"speedup_vs_cold_sweep", +1},
+		{"findings", 0},
+		{"advisories", 0},
+		{"predicted_refusals", 0},
+		{"sampled_classes", 0},
+		{"extrapolated", 0},
+	}
+	for _, tc := range cases {
+		if got := direction(tc.metric); got != tc.want {
+			t.Errorf("direction(%q) = %+d, want %+d", tc.metric, got, tc.want)
+		}
+	}
+}
+
+// TestNaturalLessSnapshotOrder pins the snapshot ordering that picks the
+// "latest two" BENCH files: embedded numbers compare as magnitudes, so
+// the PR 10 snapshot is the newest, not lexically older than PR 2.
+func TestNaturalLessSnapshotOrder(t *testing.T) {
+	files := []string{
+		"BENCH_PR10.json", "BENCH_PR2.json", "BENCH_PR7.json",
+		"BENCH_PR4.json", "BENCH_PR3.json", "BENCH_PR6.json",
+	}
+	sort.Slice(files, func(i, j int) bool { return naturalLess(files[i], files[j]) })
+	want := []string{
+		"BENCH_PR2.json", "BENCH_PR3.json", "BENCH_PR4.json",
+		"BENCH_PR6.json", "BENCH_PR7.json", "BENCH_PR10.json",
+	}
+	for i := range want {
+		if files[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", files, want)
+		}
+	}
+	less := []struct{ a, b string }{
+		{"BENCH_PR9.json", "BENCH_PR10.json"},
+		{"BENCH_PR2.json", "BENCH_PR10.json"},
+		{"a1b2", "a1b10"},
+		{"a", "b"},
+		{"x1", "x1y"},
+	}
+	for _, p := range less {
+		if !naturalLess(p.a, p.b) {
+			t.Errorf("naturalLess(%q, %q) = false, want true", p.a, p.b)
+		}
+		if naturalLess(p.b, p.a) {
+			t.Errorf("naturalLess(%q, %q) = true, want false", p.b, p.a)
+		}
+	}
+	if naturalLess("same", "same") {
+		t.Errorf("naturalLess(same, same) = true, want false")
+	}
+}

@@ -83,6 +83,7 @@ func direction(metric string) int {
 		return +1
 	case strings.Contains(metric, "seconds"),
 		strings.Contains(metric, "_per_op"),
+		strings.Contains(metric, "_per_class"),
 		strings.HasSuffix(metric, "_ms"),
 		strings.HasSuffix(metric, "_us"),
 		strings.HasSuffix(metric, "_ns"),
@@ -96,14 +97,15 @@ func direction(metric string) int {
 }
 
 // compareLatest picks the latest two snapshot files by name (BENCH_PR2 <
-// BENCH_PR3, matching the PR sequence) or falls back to within-file
-// label comparison when only one exists.
+// BENCH_PR3 < BENCH_PR10, matching the PR sequence — embedded numbers
+// compare numerically, so PR10 sorts after PR9, not before PR2) or falls
+// back to within-file label comparison when only one exists.
 func compareLatest(dir string) error {
 	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return err
 	}
-	sort.Strings(files)
+	sort.Slice(files, func(i, j int) bool { return naturalLess(files[i], files[j]) })
 	switch len(files) {
 	case 0:
 		return fmt.Errorf("no BENCH_*.json in %s", dir)
@@ -122,6 +124,46 @@ func compareLatest(dir string) error {
 	default:
 		return compareFiles(files[len(files)-2], files[len(files)-1])
 	}
+}
+
+// naturalLess orders strings with embedded digit runs compared as
+// numbers, so BENCH_PR10.json sorts after BENCH_PR9.json.
+func naturalLess(a, b string) bool {
+	for a != "" && b != "" {
+		ad, an := splitDigits(a)
+		bd, bn := splitDigits(b)
+		if ad != "" && bd != "" {
+			if ad != bd {
+				// Strip leading zeros so lengths compare magnitudes.
+				at := strings.TrimLeft(ad, "0")
+				bt := strings.TrimLeft(bd, "0")
+				if len(at) != len(bt) {
+					return len(at) < len(bt)
+				}
+				if at != bt {
+					return at < bt
+				}
+				return ad < bd
+			}
+		} else if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if ad == "" {
+			an, bn = a[1:], b[1:]
+		}
+		a, b = an, bn
+	}
+	return a == "" && b != ""
+}
+
+// splitDigits splits a leading digit run off s; run is empty when s does
+// not start with a digit.
+func splitDigits(s string) (run, rest string) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	return s[:i], s[i:]
 }
 
 // compareFiles diffs every label the two files share; labels only one

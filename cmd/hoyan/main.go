@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,7 +26,16 @@ import (
 	"hoyan/internal/netaddr"
 	"hoyan/internal/racing"
 	"hoyan/internal/topo"
+	"hoyan/internal/vet"
 )
+
+// vetReport is the envelope of `hoyan vet -json` — the same schema
+// family hoyand's GET /v1/vet serves.
+type vetReport struct {
+	Findings    int              `json:"findings"`
+	Advisories  int              `json:"advisories"`
+	Diagnostics []vet.Diagnostic `json:"diagnostics"`
+}
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: hoyan <command> [flags]
@@ -38,6 +48,11 @@ commands:
   audit   -dir DIR [-k N]                       full audit (conflicts, groups, racing)
   update  -dir DIR -device R -lines "l1;l2"     what-if check of an incremental update
   check   -dir DIR -intents FILE [-k N]         verify an operator intent file
+  vet     -dir DIR [-json] [-only a,b] [-k N]   static configuration analysis: find
+                                                config defects and predict modular
+                                                refusals without simulating; exit 1
+                                                on findings (info advisories never
+                                                fail a run), 2 on usage errors
   sweep   -dir DIR -workers a:p,b:p [-k N]      distributed whole-network sweep
           [-retries N] [-req-timeout D] [-dial-timeout D]
           [-hedge-after D] [-partial]           fault-tolerance knobs
@@ -106,6 +121,8 @@ func main() {
 	noIncr := fs.Bool("no-incremental", false, "sweep: ignore -baseline and sweep cold")
 	auditSample := fs.Float64("audit-sample", 0, "sweep: fraction of replicated members and cached replays to re-simulate and check")
 	threads := fs.Int("threads", 0, "sweep: local goroutines when no -workers given (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "vet: emit machine-readable diagnostics instead of text")
+	only := fs.String("only", "", "vet: comma-separated analyzer names to run (default: all)")
 	journal := fs.String("journal", "", "sweep: journal class completions to this file (crash-safe session)")
 	resume := fs.Bool("resume", false, "sweep: resume the -journal session instead of starting fresh")
 	sessionID := fs.String("session", "", "sweep: session id recorded in the journal (default derived from pid)")
@@ -317,6 +334,50 @@ func main() {
 		}
 		fmt.Printf("%d intent violations\n", len(viols))
 		if len(viols) > 0 {
+			exit(1)
+		}
+	case "vet":
+		m, err := core.Assemble(net, snap, behavior.TrueProfiles())
+		if err != nil {
+			fail(err.Error())
+		}
+		analyzers := vet.Analyzers()
+		if *only != "" {
+			analyzers = analyzers[:0]
+			for _, name := range strings.Split(*only, ",") {
+				a := vet.ByName(strings.TrimSpace(name))
+				if a == nil {
+					fmt.Fprintf(os.Stderr, "hoyan: unknown analyzer %q\n", strings.TrimSpace(name))
+					exit(2)
+				}
+				analyzers = append(analyzers, a)
+			}
+		}
+		// -k mirrors the sweep the vet run front-runs: cutsound keys its
+		// refusal predictions on the failure budget.
+		diags, err := vet.RunBudget(m, analyzers, *k)
+		if err != nil {
+			fail(err.Error())
+		}
+		findings := vet.Findings(diags)
+		if *jsonOut {
+			if diags == nil {
+				diags = []vet.Diagnostic{}
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(vetReport{
+				Findings: findings, Advisories: len(diags) - findings, Diagnostics: diags,
+			}); err != nil {
+				fail(err.Error())
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Println(d)
+			}
+			fmt.Printf("vet: %d findings, %d advisories\n", findings, len(diags)-findings)
+		}
+		if findings > 0 {
 			exit(1)
 		}
 	case "sweep":
@@ -661,6 +722,12 @@ func modularSweep(coord *dist.Coordinator, m *core.Model, classes []core.PrefixC
 			fmt.Printf("note: %s falls back to monolithic: %v\n", cl.Rep, herr)
 		}
 		mcs = append(mcs, mc)
+	}
+	// Advisory pre-flight: predict the cut's refusals statically so the
+	// fallback load is visible before a single worker is dispatched.
+	if pred := vet.PredictRefusals(m, k); pred.RefusedClasses() > 0 {
+		fmt.Printf("vet pre-flight: %d of %d classes predicted to refuse the cut and fall back to monolithic\n",
+			pred.RefusedClasses(), len(pred.Classes))
 	}
 	fmt.Printf("dispatching %d behavior classes for %d prefixes across %d regions\n", len(jobs), total, len(regions))
 	res, err := coord.RunModular(mcs, regions, k)

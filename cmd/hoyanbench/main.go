@@ -33,6 +33,15 @@
 // O(1000)-router paper-scale WAN where the working-set gap is the
 // story).
 //
+// `-exp vet` measures the static configuration-analysis plane: one vet
+// pass (all analyzers, min-of-3) against the cold classed sweep it
+// front-runs on the same preset. The sweep side simulates a sample of
+// behavior classes and extrapolates linearly — flagged as such in the
+// snapshot — because a full cold sweep of the xl preset would dwarf the
+// experiment. Metrics land in BENCH_PR10.json (-vet-out) as the
+// vet_static / vet_cold_sweep / vet_speedup groups;
+// -vet-preset/-vet-k/-vet-sample size the run.
+//
 // `-exp query` measures the query plane: one baseline sweep is captured
 // and compiled (internal/qc), then seeded concurrent clients fire a
 // reach/minfail/impact mix at GET /v1/query over HTTP. Metrics — the
@@ -60,7 +69,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | recovery | query | modular | all")
+	exp := flag.String("exp", "all", "table1 | table2 | table3 | table4 | table5 | fig7 | fig8-13 | fig14 | fig15-16 | appf | ablations | classes | incremental | recovery | query | modular | vet | all")
 	budget := flag.Duration("budget", 60*time.Second, "per-cell budget for baseline comparisons")
 	months := flag.Int("months", 24, "campaign months for fig7")
 	limit := flag.Int("limit", 24, "prefix sample size for full-WAN experiments (0 = all)")
@@ -83,6 +92,10 @@ func main() {
 	modPreset := flag.String("mod-preset", "full", "modular experiment: small | medium | full | xl")
 	modK := flag.Int("mod-k", 1, "modular experiment: failure budget")
 	modOut := flag.String("mod-out", "BENCH_PR8.json", "modular experiment: JSON snapshot to merge the metrics into (empty = don't write)")
+	vetPreset := flag.String("vet-preset", "xl", "vet experiment: small | medium | full | xl")
+	vetK := flag.Int("vet-k", 3, "vet experiment: failure budget")
+	vetSample := flag.Int("vet-sample", 6, "vet experiment: cold-sweep classes to actually simulate before extrapolating (0 = all)")
+	vetOut := flag.String("vet-out", "BENCH_PR10.json", "vet experiment: JSON snapshot to merge the metrics into (empty = don't write)")
 	flag.Parse()
 
 	if *perf != "" {
@@ -168,6 +181,23 @@ func main() {
 					return bench.Table{}, err
 				}
 				fmt.Printf("recorded query-plane metrics in %s\n", *queryOut)
+			}
+			return t, nil
+		}},
+		{"vet", func() (bench.Table, error) {
+			params, err := presetParams(*vetPreset)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			t, m, err := bench.VetStatic(params, *vetK, *vetSample)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			if *vetOut != "" {
+				if err := writeVetSnapshot(*vetOut, *vetPreset, m); err != nil {
+					return bench.Table{}, err
+				}
+				fmt.Printf("recorded static-vet metrics in %s\n", *vetOut)
 			}
 			return t, nil
 		}},
@@ -472,6 +502,55 @@ func writeQuerySnapshot(out, preset string, m *bench.QueryMetrics, peak bench.Pe
 		}
 	}
 	doc["query-"+preset] = snap
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
+
+// writeVetSnapshot merges the static-analysis metrics into the
+// BENCH_PR10-style JSON file: one label per preset, with vet_static
+// (the milliseconds-scale analysis pass), vet_cold_sweep (the classed
+// sweep cost it front-runs — extrapolated=1 when sampled, the honesty
+// flag), and vet_speedup groups.
+func writeVetSnapshot(out, preset string, m *bench.VetMetrics) error {
+	extrapolated := 0
+	if m.Extrapolated {
+		extrapolated = 1
+	}
+	snap := map[string]any{
+		"date":       time.Now().UTC().Format(time.RFC3339),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"routers":    m.Routers,
+		"prefixes":   m.Prefixes,
+		"classes":    m.Classes,
+		"k":          m.K,
+		"vet_static": map[string]any{
+			"seconds":            m.VetSeconds,
+			"assemble_seconds":   m.AssembleSeconds,
+			"us_per_class":       1e6 * m.VetSeconds / float64(m.Classes),
+			"findings":           m.Findings,
+			"advisories":         m.Advisories,
+			"predicted_refusals": m.PredictedRefusals,
+		},
+		"vet_cold_sweep": map[string]any{
+			"seconds":         m.ColdSeconds,
+			"sampled_classes": m.SampledClasses,
+			"extrapolated":    extrapolated,
+		},
+		"vet_speedup": map[string]any{
+			"speedup_vs_cold_sweep": m.Speedup,
+		},
+	}
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	}
+	doc["vet-"+preset] = snap
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

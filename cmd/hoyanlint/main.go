@@ -4,10 +4,13 @@
 //	hoyanlint ./...
 //	hoyanlint -list
 //	hoyanlint -only maporder,netdeadline ./...
+//	hoyanlint -json ./...
 //
-// Diagnostics print as file:line:col: message (analyzer). The exit
-// status is 1 when any unsuppressed diagnostic is reported, 2 on driver
-// errors. Suppress a reviewed false positive with a trailing or
+// Diagnostics print as file:line:col: message (analyzer); -json instead
+// emits one machine-readable report on stdout (the same schema family
+// as `hoyan vet -json`: a findings count plus a diagnostics list), for
+// CI to archive as a stable failure summary. The exit status is 1 when
+// any unsuppressed diagnostic is reported, 2 on driver errors. Suppress a reviewed false positive with a trailing or
 // preceding comment:
 //
 //	//lint:allow <analyzer> <reason>
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +28,21 @@ import (
 	"hoyan/internal/lint"
 )
 
+// lintDiag is one diagnostic of the -json report — the same schema
+// family as hoyan vet's, anchored to source positions instead of config
+// objects.
+type lintDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable report on stdout instead of text lines")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -68,7 +84,7 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	findings := 0
+	report := []lintDiag{}
 	for _, p := range pkgs {
 		if len(p.GoFiles) == 0 {
 			continue
@@ -83,12 +99,27 @@ func main() {
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
-			findings++
+			if !*jsonOut {
+				fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			}
+			report = append(report, lintDiag{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "hoyanlint: %d finding(s)\n", findings)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Findings    int        `json:"findings"`
+			Diagnostics []lintDiag `json:"diagnostics"`
+		}{len(report), report}); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if len(report) > 0 {
+		fmt.Fprintf(os.Stderr, "hoyanlint: %d finding(s)\n", len(report))
 		os.Exit(1)
 	}
 }

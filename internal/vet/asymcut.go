@@ -1,0 +1,44 @@
+package vet
+
+// AsymCutAnalyzer flags cut-crossing eBGP sessions where exactly one
+// endpoint applies a route policy. An asymmetric policy on a session
+// that crosses the region cut is the class-splitting shape the
+// behavior-class tests pin: the two directions of the same session see
+// different attribute rewrites, so prefixes that look equivalent from
+// one side split into distinct behavior classes — and under modular
+// verification the cut summary must carry the asymmetry. Both devices
+// are named so the operator sees which side is missing (or carrying)
+// the policy.
+var AsymCutAnalyzer = &Analyzer{
+	Name: "asymcut",
+	Code: "V005",
+	Doc:  "flags cut-crossing eBGP sessions where exactly one side applies a route policy",
+	Run:  runAsymCut,
+}
+
+func runAsymCut(p *Pass) error {
+	ix := p.Sessions()
+	for i := range ix.sessions {
+		se := &ix.sessions[i]
+		if se.IBGP || se.From > se.To {
+			continue // one report per session pair
+		}
+		fromReg, toReg := ix.region(se.From), ix.region(se.To)
+		if fromReg == toReg || fromReg == "" || toReg == "" {
+			continue // region-less endpoints are cutsound's finding
+		}
+		fromHas := se.FromN.InPolicy != "" || se.FromN.OutPolicy != ""
+		toHas := se.ToN.InPolicy != "" || se.ToN.OutPolicy != ""
+		if fromHas == toHas {
+			continue
+		}
+		with, without := se.From, se.To
+		if toHas {
+			with, without = se.To, se.From
+		}
+		p.Reportf(ix.name(with), "neighbor/"+ix.name(without), SevWarn,
+			"eBGP session %s<->%s crosses the %s/%s cut but only %s applies a route policy; the asymmetry splits prefix classes and the cut summary must carry it",
+			ix.name(se.From), ix.name(se.To), fromReg, toReg, ix.name(with))
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package vet
+
+// StaticNHAnalyzer flags static routes whose next-hop cannot work: the
+// named router is not in the model at all, or is modeled but shares no
+// link with this device. The simulation engine gives such a static a
+// False establishment condition — the route silently never installs —
+// so the config line is dead and almost certainly a typo or a stale
+// reference to a decommissioned adjacency.
+var StaticNHAnalyzer = &Analyzer{
+	Name: "staticnh",
+	Code: "V004",
+	Doc:  "flags static routes whose next-hop is no modeled link or neighbor address",
+	Run:  runStaticNH,
+}
+
+func runStaticNH(p *Pass) error {
+	for _, node := range p.Model.Net.Nodes() {
+		cfg := p.Model.Configs[node.ID]
+		for _, sr := range cfg.Statics {
+			obj := "static/" + sr.Prefix.String()
+			nh, ok := p.Model.Resolve(sr.NextHop)
+			if !ok {
+				p.Reportf(node.Name, obj, SevError,
+					"static route %s: next-hop %s is not a modeled router", sr.Prefix, sr.NextHop)
+				continue
+			}
+			if _, ok := p.Model.Net.LinkBetween(node.ID, nh); !ok {
+				p.Reportf(node.Name, obj, SevError,
+					"static route %s: next-hop %s is modeled but shares no link with %s (route can never install)",
+					sr.Prefix, sr.NextHop, node.Name)
+			}
+		}
+	}
+	return nil
+}

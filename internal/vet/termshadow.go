@@ -1,0 +1,140 @@
+package vet
+
+import (
+	"hoyan/internal/config"
+	"hoyan/internal/policy"
+)
+
+// TermShadowAnalyzer flags route-policy terms no route can ever reach:
+// an earlier term whose match provably subsumes a later term's match
+// makes the later term dead under first-match-wins evaluation. The
+// subsumption check is conservative — it only fires when every route
+// the later term could match is proven to match the earlier term — so
+// a finding is never a false positive, at the cost of missing partial
+// shadows.
+var TermShadowAnalyzer = &Analyzer{
+	Name: "termshadow",
+	Code: "V001",
+	Doc:  "flags route-policy terms unreachable because an earlier term's match subsumes them",
+	Run:  runTermShadow,
+}
+
+func runTermShadow(p *Pass) error {
+	for _, node := range p.Model.Net.Nodes() {
+		cfg := p.Model.Configs[node.ID]
+		for _, name := range sortedKeys(cfg.RoutePolicies) {
+			rp := cfg.RoutePolicies[name]
+			for i := 1; i < len(rp.Terms); i++ {
+				for j := 0; j < i; j++ {
+					if subsumes(cfg, rp.Terms[j].Match, rp.Terms[i].Match) {
+						p.Reportf(node.Name, "route-policy/"+name, SevWarn,
+							"term %d is unreachable: term %d already matches every route it could match (first match wins)",
+							rp.Terms[i].Seq, rp.Terms[j].Seq)
+						break
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// subsumes reports whether match a provably matches every route match b
+// matches. Each of a's constraints must be absent or implied by the
+// corresponding constraint of b; any constraint pair we cannot reason
+// about makes the answer false (the conservative direction).
+func subsumes(cfg *config.Device, a, b policy.Match) bool {
+	if a.Community != 0 && a.Community != b.Community {
+		return false
+	}
+	if a.NoCommunity != 0 && a.NoCommunity != b.NoCommunity {
+		return false
+	}
+	if a.ASInPath != 0 && a.ASInPath != b.ASInPath {
+		return false
+	}
+	if a.Protocol != nil && (b.Protocol == nil || *a.Protocol != *b.Protocol) {
+		return false
+	}
+	apl, bpl := resolveList(cfg, a.PrefixList), resolveList(cfg, b.PrefixList)
+	if apl == nil {
+		return true // a matches any prefix
+	}
+	if bpl == nil {
+		return false // b is wider than a on the prefix dimension
+	}
+	return listCoveredBy(bpl, apl)
+}
+
+// resolveList maps a (possibly placeholder) prefix-list reference to the
+// device's parsed list. A dangling reference resolves to nil here —
+// deadref owns reporting it — which termshadow treats as "cannot
+// reason", since nil means match-any on the a side and unprovable on
+// the b side only when a has rules; returning the placeholder would
+// pretend an empty (deny-everything) list.
+func resolveList(cfg *config.Device, pl *policy.PrefixList) *policy.PrefixList {
+	if pl == nil {
+		return nil
+	}
+	if real, ok := cfg.PrefixLists[pl.Name]; ok {
+		return real
+	}
+	if len(pl.Rules) > 0 {
+		return pl
+	}
+	return nil
+}
+
+// listCoveredBy reports whether every prefix list a permits is provably
+// permitted by list b. Conservative: a's deny rules are ignored (they
+// only shrink a's permitted set), and each permit rule of a must be
+// covered by a permit rule of b that no earlier overlapping deny rule
+// of b can intercept.
+func listCoveredBy(a, b *policy.PrefixList) bool {
+	for _, ra := range a.Rules {
+		if ra.Action != policy.Permit {
+			continue
+		}
+		if !ruleCoveredBy(ra, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func ruleCoveredBy(ra policy.PrefixRule, b *policy.PrefixList) bool {
+	alo, ahi := ruleRange(ra)
+	for _, rb := range b.Rules {
+		blo, bhi := ruleRange(rb)
+		overlapsLen := alo <= bhi && blo <= ahi
+		overlapsSpace := rb.Prefix.Covers(ra.Prefix) || ra.Prefix.Covers(rb.Prefix)
+		if rb.Action == policy.Deny {
+			// An overlapping deny ahead of any covering permit means part
+			// of ra's space could be denied by b: cannot prove coverage.
+			if overlapsSpace && overlapsLen {
+				return false
+			}
+			continue
+		}
+		if rb.Prefix.Covers(ra.Prefix) && blo <= alo && ahi <= bhi {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleRange returns the effective [lo, hi] prefix-length window of a
+// rule, mirroring PrefixRule.Matches' GE/LE defaulting.
+func ruleRange(r policy.PrefixRule) (uint8, uint8) {
+	lo, hi := r.GE, r.LE
+	if lo == 0 && hi == 0 {
+		return r.Prefix.Len, r.Prefix.Len
+	}
+	if lo == 0 {
+		lo = r.Prefix.Len
+	}
+	if hi == 0 {
+		hi = lo
+	}
+	return lo, hi
+}

@@ -1,0 +1,14 @@
+package vet
+
+import "sort"
+
+// sortedKeys returns a map's keys sorted, so analyzer reports iterate
+// configuration maps in a deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"hoyan/internal/igp"
 	"hoyan/internal/netaddr"
 	"hoyan/internal/topo"
+	"hoyan/internal/vet"
 )
 
 // ModularStats reports what a modular sweep actually did — including,
@@ -26,6 +27,13 @@ type ModularStats struct {
 	// audits) that fell back to monolithic simulation because a cut could
 	// not soundly express their behavior.
 	Refused int
+	// Predicted counts prefix classes the static pre-flight
+	// (internal/vet's cutsound analyzer) expected the cut to refuse,
+	// before any pass was dispatched. The pre-flight is advisory — the
+	// authoritative refusal still comes from the core layer at simulation
+	// time — but the two counts agreeing on a plain classed sweep is the
+	// predictor's accuracy contract.
+	Predicted int
 	// Fallback is set when the whole sweep ran monolithically because no
 	// usable partition exists (region-less BGP speakers, or one region).
 	Fallback bool
@@ -89,6 +97,15 @@ func (n *Network) sweepModular(model *core.Model, jobs []sweepJob, audit map[net
 			}
 		}
 		ms.Notes = append(ms.Notes, reason)
+	}
+
+	// Static pre-flight: predict which classes the cut will refuse before
+	// any pass runs, so the operator sees the fallback load up front
+	// instead of discovering it one wasted home pass at a time.
+	pred := vet.PredictRefusals(model, opts.K)
+	ms.Predicted = pred.RefusedClasses()
+	if ms.Predicted > 0 {
+		note(fmt.Sprintf("vet pre-flight: %d of %d classes predicted to refuse the cut", ms.Predicted, len(pred.Classes)))
 	}
 
 	// The work units: one per representative, plus one per selected audit

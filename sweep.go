@@ -492,7 +492,7 @@ func (r *SweepReport) String() string {
 		case r.Modular.Fallback:
 			s += ", modular fallback: no usable partition"
 		default:
-			s += fmt.Sprintf(", modular: %d regions, %d passes, %d refusals", r.Modular.Regions, r.Modular.Passes, r.Modular.Refused)
+			s += fmt.Sprintf(", modular: %d regions, %d passes, %d refusals (%d predicted)", r.Modular.Regions, r.Modular.Passes, r.Modular.Refused, r.Modular.Predicted)
 		}
 	}
 	return s + ")"
